@@ -1,0 +1,73 @@
+"""Ablation: SCC banks per processor.
+
+Section 2.2.2 provisions four banks per processor "to provide enough
+bandwidth to prevent the SCC from becoming a performance bottleneck".
+This ablation sweeps the banking factor on MP3D -- whose concurrent
+accesses hit independent random lines, the pattern banking serves --
+and measures bank-conflict cycles.  (On Barnes-Hut the conflicts are
+mostly *same-line* collisions from cluster-mates walking the tree in
+lock-step, which no amount of banking removes -- an observation the
+report includes.)
+"""
+
+from repro.core.config import KB, SystemConfig
+from repro.experiments import render_table
+from repro.simulation import run_simulation
+from repro.workloads import MP3D, BarnesHut
+
+from conftest import run_once
+
+BANK_FACTORS = (1, 2, 4, 8)
+
+
+def test_ablation_banks_per_processor(benchmark, save_report):
+    mp3d = MP3D(n_particles=600, steps=3)
+    barnes = BarnesHut(n_bodies=256, steps=2)
+
+    def build():
+        results = {}
+        for banks in BANK_FACTORS:
+            config = SystemConfig.paper_parallel(8, 8 * KB).with_updates(
+                banks_per_processor=banks)
+            results[banks] = run_simulation(config, mp3d)
+        barnes_results = {}
+        for banks in (1, 4):
+            config = SystemConfig.paper_parallel(8, 8 * KB).with_updates(
+                banks_per_processor=banks)
+            barnes_results[banks] = run_simulation(config, barnes)
+        return results, barnes_results
+
+    results, barnes_results = run_once(benchmark, build)
+
+    rows = []
+    for banks in BANK_FACTORS:
+        stats = results[banks].stats
+        rows.append([
+            f"mp3d / {banks} banks/proc",
+            f"{stats.execution_time:,}",
+            f"{stats.total_scc.bank_conflict_cycles:,}",
+        ])
+    for banks in (1, 4):
+        stats = barnes_results[banks].stats
+        rows.append([
+            f"barnes-hut / {banks} banks/proc",
+            f"{stats.execution_time:,}",
+            f"{stats.total_scc.bank_conflict_cycles:,}",
+        ])
+    report = render_table(
+        "SCC banking ablation (8 procs/cluster, 64 KB paper-equivalent)",
+        ["workload / banks", "exec time", "bank-conflict cycles"], rows)
+    report += ("\nBarnes-Hut's residual conflicts are same-line "
+               "collisions from lock-step traversal; banking cannot "
+               "remove those, which is why its conflict count barely "
+               "moves.")
+    save_report("ablation_banks", report)
+
+    conflicts = {b: results[b].stats.total_scc.bank_conflict_cycles
+                 for b in BANK_FACTORS}
+    # The paper's four banks per processor remove most of the single-
+    # bank conflict cost for independent access streams.
+    assert conflicts[4] < conflicts[1] * 0.6
+    assert conflicts[2] < conflicts[1]
+    # Beyond four, returns diminish (the paper's sizing).
+    assert conflicts[8] > conflicts[4] * 0.5

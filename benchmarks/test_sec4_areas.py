@@ -1,0 +1,39 @@
+"""Section 4: implementation cost model checks.
+
+Verifies the floorplan/area/packaging arithmetic the cost/performance
+conclusions rest on: chip areas and ratios, the 64 KB direct-mapped
+access-time limit, the crossbar ICN area, and the perimeter-vs-C4
+packaging boundary.
+"""
+
+import pytest
+
+from repro.cost import (CLUSTER_IMPLEMENTATIONS, access_time_fo4,
+                        crossbar_area_mm2, max_direct_mapped_bytes)
+from repro.experiments import render_section4_costs
+
+from conftest import run_once
+
+
+def test_section4_costs(benchmark, save_report):
+    report = run_once(benchmark, render_section4_costs)
+    save_report("section4_costs", report)
+
+    impls = CLUSTER_IMPLEMENTATIONS
+    # The paper's headline area ratios.
+    assert impls[2].area_ratio_vs_uniprocessor == pytest.approx(1.37, 0.01)
+    assert impls[4].area_ratio_vs_uniprocessor == pytest.approx(1.46, 0.01)
+    assert impls[8].area_ratio_vs_uniprocessor == pytest.approx(1.50, 0.01)
+    # Every chip fits the economical die.
+    for impl in impls.values():
+        assert impl.fits_die
+        assert impl.overhead_mm2 > 0
+    # 64 KB is the largest direct-mapped cache in the 30-FO4 cycle.
+    assert access_time_fo4(64 * 1024) == pytest.approx(30.0)
+    assert max_direct_mapped_bytes(30) == 64 * 1024
+    # The two-processor chip's 3-port x 8-bank crossbar is ~12.1 mm^2.
+    assert crossbar_area_mm2(3, 8) == pytest.approx(12.1, abs=0.05)
+    # Packaging: perimeter suffices through four processors; the
+    # eight-processor block needs C4.
+    assert not impls[4].packaging().needs_c4
+    assert impls[8].packaging().needs_c4

@@ -1,0 +1,27 @@
+"""Table 5: relative uniprocessor execution time vs load latency.
+
+The pixstats-equivalent analytic pipeline model, calibrated per
+benchmark; this bench verifies it reproduces the paper's table exactly
+(to rounding).
+"""
+
+import pytest
+
+from repro.cost.latency import (PAPER_LATENCY_MODELS, PAPER_TABLE5,
+                                latency_factor)
+from repro.experiments import render_table5
+
+from conftest import run_once
+
+
+def test_table5_load_latency(benchmark, save_report):
+    report = run_once(benchmark, render_table5)
+    save_report("table5_load_latency", report)
+    for name, expected in PAPER_TABLE5.items():
+        for latency, value in zip((2, 3, 4), expected):
+            assert latency_factor(name, latency) == pytest.approx(
+                value, abs=0.005)
+    # Longer loads never make a benchmark faster.
+    for model in PAPER_LATENCY_MODELS.values():
+        assert (model.relative_time(2) <= model.relative_time(3)
+                <= model.relative_time(4))

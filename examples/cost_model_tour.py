@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Tour of the Section 4/5 implementation cost models.
+
+Walks through the VLSI-side half of the paper without running any
+simulation: process scaling, cache access times, crossbar area, pad
+counting, the four cluster floorplans, and the load-latency sensitivity
+table.
+
+Usage:  python examples/cost_model_tour.py
+"""
+
+from repro.cost import (CLUSTER_IMPLEMENTATIONS, PAPER_PROCESS,
+                        ScaledProcessor, access_time_fo4,
+                        crossbar_area_mm2, latency_factor,
+                        max_direct_mapped_bytes)
+from repro.experiments import render_section4_costs, render_table5
+
+KB = 1024
+
+
+def main():
+    print("Process:", PAPER_PROCESS.gate_length_um, "um,",
+          f"{PAPER_PROCESS.max_die_area_mm2:.0f} mm^2 economical die\n")
+
+    processor = ScaledProcessor.in_process()
+    print(f"Alpha 21064 scaled to 0.4 um: core "
+          f"{processor.core_area_mm2:.1f} mm^2 + 16 KB icache "
+          f"{processor.icache_area_mm2:.1f} mm^2\n")
+
+    print("Direct-mapped access time (FO4) by capacity:")
+    for kb in (16, 32, 64, 128, 256):
+        flag = "  <- cycle limit" if kb == 64 else ""
+        print(f"  {kb:>4} KB : {access_time_fo4(kb * KB):5.1f} FO4{flag}")
+    print(f"  largest cache inside the 30-FO4 cycle: "
+          f"{max_direct_mapped_bytes(30) // KB} KB\n")
+
+    print(f"Crossbar ICN, 3 ports x 8 banks: "
+          f"{crossbar_area_mm2(3, 8):.1f} mm^2 (paper: 12.1)\n")
+
+    print(render_section4_costs())
+    print()
+    print(render_table5())
+    print()
+    two_proc = CLUSTER_IMPLEMENTATIONS[2]
+    penalty = latency_factor("barnes-hut", two_proc.load_latency)
+    print(f"The 2-processor chip's extra arbitration stage costs "
+          f"Barnes-Hut {100 * (penalty - 1):.0f}% on a perfect memory "
+          f"system -- the price Section 5 weighs against the shared "
+          f"cache's gains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Writing your own workload: a producer-consumer ping-pong study.
+
+The simulator runs anything that implements
+:class:`repro.workloads.TracedApplication`: return one trace-event
+generator per processor and the machinery (interleaver, coherence, bank
+contention, statistics) comes for free.
+
+This example builds a workload where pairs of processors bounce a block
+of shared lines back and forth, and uses it to measure the paper's core
+architectural claim directly: placing communicating processors in the
+*same* cluster (sharing an SCC) eliminates the invalidation traffic that
+the same pairs generate when split across clusters.
+
+Usage:  python examples/custom_workload.py
+"""
+
+from repro import KB, SystemConfig, run_simulation
+from repro.trace import Barrier, Compute, Read, Write
+from repro.workloads import SharedHeap, TracedApplication
+
+
+class PingPong(TracedApplication):
+    """Pairs of processes exchanging a buffer of shared cache lines.
+
+    Processor ``2k`` writes the buffer and processor ``2k+1`` reads and
+    rewrites it, ``rounds`` times, with a barrier per round.  ``paired``
+    controls whether partners are adjacent processor ids (same cluster
+    when clusters hold >= 2 processors) or maximally separated ids
+    (always different clusters).
+    """
+
+    name = "ping-pong"
+
+    def __init__(self, buffer_bytes=2 * KB, rounds=40, paired=True):
+        self.buffer_bytes = buffer_bytes
+        self.rounds = rounds
+        self.paired = paired
+
+    def processes(self, config):
+        n = config.total_processors
+        if n % 2:
+            raise ValueError("need an even number of processors")
+        heap = SharedHeap()
+        buffers = [heap.alloc(f"buffer{k}", self.buffer_bytes)
+                   for k in range(n // 2)]
+        if self.paired:
+            partners = [(2 * k, 2 * k + 1) for k in range(n // 2)]
+        else:
+            partners = [(k, k + n // 2) for k in range(n // 2)]
+        processes = {}
+        for pair_id, (writer, reader) in enumerate(partners):
+            region = buffers[pair_id]
+            processes[writer] = self._writer(region, n)
+            processes[reader] = self._reader(region, n)
+        return processes
+
+    def _writer(self, region, n_procs):
+        for _ in range(self.rounds):
+            for offset in range(0, region.size, 16):
+                yield Write(region.addr(offset))
+            yield Compute(50)
+            yield Barrier(0, n_procs)
+            yield Barrier(1, n_procs)
+
+    def _reader(self, region, n_procs):
+        for _ in range(self.rounds):
+            yield Barrier(0, n_procs)
+            for offset in range(0, region.size, 16):
+                yield Read(region.addr(offset))
+                yield Write(region.addr(offset))
+            yield Compute(50)
+            yield Barrier(1, n_procs)
+
+
+def run(paired):
+    config = SystemConfig(clusters=4, processors_per_cluster=2,
+                          scc_size=8 * KB)
+    result = run_simulation(config, PingPong(paired=paired))
+    return result
+
+
+def main():
+    print("Producer-consumer pairs on 4 clusters x 2 processors\n")
+    for paired, label in ((True, "partners share a cluster (and SCC)"),
+                          (False, "partners split across clusters")):
+        result = run(paired)
+        stats = result.stats
+        print(f"{label}:")
+        print(f"  execution time : {stats.execution_time:>9,} cycles")
+        print(f"  invalidations  : {stats.total_invalidations:>9,}")
+        print(f"  read miss rate : {100 * stats.read_miss_rate:8.1f} %")
+        print()
+    print("Clustering communicating processes removes the coherence"
+          " traffic entirely -- the paper's argument for shared cluster"
+          " caches in one experiment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design-space exploration: processors-per-cluster vs SCC size.
+
+Reproduces a small version of the paper's Section 3.1 methodology for
+one application: sweep the processor-cache grid, print the normalized
+execution times and the speedup table, and point out where sharing the
+cache beats growing it -- the question the paper asks.
+
+Usage:  python examples/design_space_sweep.py [mp3d|barnes|cholesky]
+"""
+
+import sys
+
+from repro import KB, SystemConfig, run_simulation
+from repro.workloads import BarnesHut, Cholesky, MP3D
+
+LADDER = (1 * KB, 4 * KB, 16 * KB, 32 * KB, 64 * KB)
+PROCS = (1, 2, 4)
+
+
+def make_app(name):
+    if name == "mp3d":
+        return MP3D(n_particles=400, steps=3)
+    if name == "cholesky":
+        return Cholesky(n=224)
+    return BarnesHut(n_bodies=128, steps=2)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "barnes"
+    app = make_app(name)
+    print(f"Design-space sweep: {app.name}, four clusters\n")
+
+    times = {}
+    for procs in PROCS:
+        for size in LADDER:
+            config = SystemConfig.paper_parallel(procs, size)
+            times[(procs, size)] = run_simulation(
+                config, app).execution_time
+
+    header = "SCC size" + "".join(f"{str(p) + ' proc':>22}" for p in PROCS)
+    print(header)
+    for size in LADDER:
+        row = f"{size // KB:>5} KB"
+        for procs in PROCS:
+            speedup = times[(1, size)] / times[(procs, size)]
+            row += f"{times[(procs, size)]:>13,} ({speedup:4.2f}x)"
+        print(row)
+
+    # The paper's single-chip question: same silicon budget, different
+    # split.  Compare "1 proc + big cache" against "2 procs + half".
+    big_cache = times[(1, 64 * KB)]
+    shared = times[(2, 32 * KB)]
+    print(f"\n1 proc + 64 KB: {big_cache:,} cycles")
+    print(f"2 procs + 32 KB SCC: {shared:,} cycles")
+    winner = ("two processors with the smaller shared cache"
+              if shared < big_cache else "the single processor")
+    print(f"-> {winner} wins for {app.name}")
+
+
+if __name__ == "__main__":
+    main()

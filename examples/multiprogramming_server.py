@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compute-server scenario: the SPEC92 mix on a shared-cache cluster.
+
+The paper's second usage model (Section 3.2): a single cluster running
+eight independent processes under a round-robin scheduler.  This example
+shows how throughput scales with processors per cluster, and how the
+shared SCC's miss rate climbs as co-scheduled processes interfere.
+
+Usage:  python examples/multiprogramming_server.py
+"""
+
+from repro import KB, SystemConfig, run_simulation
+from repro.workloads import MultiprogrammingWorkload
+
+
+def main():
+    workload = MultiprogrammingWorkload(instructions_per_app=40_000,
+                                        quantum_instructions=10_000)
+    scc_size = 8 * KB   # stands in for the paper's 64 KB at ladder /8
+    print(f"Eight SPEC92-like processes, one cluster, "
+          f"{scc_size // KB} KB SCC\n")
+    print(f"{'procs':>5} {'exec time':>12} {'throughput':>11} "
+          f"{'SCC miss rate':>14} {'icache misses':>14}")
+
+    base_time = None
+    for procs in (1, 2, 4, 8):
+        config = SystemConfig.paper_multiprogramming(
+            procs, scc_size).with_updates(icache_size=2 * KB)
+        result = run_simulation(config, workload)
+        stats = result.stats
+        if base_time is None:
+            base_time = stats.execution_time
+        print(f"{procs:>5} {stats.execution_time:>12,} "
+              f"{base_time / stats.execution_time:>10.2f}x "
+              f"{100 * stats.total_scc.miss_rate:>13.1f}% "
+              f"{stats.icache_misses:>14,}")
+
+    print("\nThroughput grows sub-linearly: co-scheduled processes"
+          " interfere in the shared cluster cache (the paper's"
+          " Figure 6 effect). Re-run with a larger scc_size to watch"
+          " the degradation shrink.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Capture a reference trace, inspect it, and replay it bit-for-bit.
+
+Shows the trace tooling end to end: materialize a static reference
+stream, save it in the binary trace format, characterize it (event mix,
+working set, miss-ratio curve), and replay the file through the
+simulator, verifying the replay reproduces the original run exactly.
+
+Usage:  python examples/trace_capture.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import KB, SystemConfig
+from repro.core import MultiprocessorSystem
+from repro.trace import (TimingInterleaver, event_histogram, load_trace,
+                         miss_ratio_curve, reference_count, save_trace,
+                         working_set_lines)
+from repro.workloads import spec92_workload
+
+
+def simulate(streams, config):
+    system = MultiprocessorSystem(config)
+    interleaver = TimingInterleaver(system)
+    for proc, events in enumerate(streams):
+        interleaver.add_process(proc, iter(events))
+    time = interleaver.run()
+    return time, system.stats(time)
+
+
+def main():
+    config = SystemConfig(clusters=1, processors_per_cluster=2,
+                          scc_size=4 * KB)
+    # Two SPEC-like processes, one quantum each, as the capture source.
+    apps = spec92_workload(scale=8)
+    streams = [list(apps[0].burst(20_000)), list(apps[1].burst(20_000))]
+
+    with tempfile.TemporaryDirectory() as directory:
+        paths = []
+        for index, events in enumerate(streams):
+            path = Path(directory) / f"proc{index}.trace"
+            count = save_trace(path, events)
+            size = path.stat().st_size
+            print(f"captured proc {index}: {count:,} events -> "
+                  f"{size:,} bytes ({size / count:.1f} B/event)")
+            paths.append(path)
+
+        print("\ntrace characterization (proc 0):")
+        histogram = event_histogram(streams[0])
+        for kind, count in sorted(histogram.items(),
+                                  key=lambda item: -item[1]):
+            print(f"  {kind.__name__:<10} {count:>7,}")
+        print(f"  data refs : {reference_count(streams[0]):,}")
+        print(f"  90% WS    : "
+              f"{working_set_lines(streams[0]) * 16 / 1024:.1f} KB")
+        curve = miss_ratio_curve(streams[0], (1024, 4096, 16384))
+        for size, ratio in curve.items():
+            print(f"  LRU {size // 1024:>2} KB : {100 * ratio:.1f}% miss")
+
+        print("\nreplaying from disk...")
+        direct_time, direct_stats = simulate(streams, config)
+        reloaded = [load_trace(path) for path in paths]
+        replay_time, replay_stats = simulate(reloaded, config)
+
+        print(f"  direct run : {direct_time:,} cycles, "
+              f"{direct_stats.total_scc.read_misses:,} read misses")
+        print(f"  replay run : {replay_time:,} cycles, "
+              f"{replay_stats.total_scc.read_misses:,} read misses")
+        identical = (direct_time == replay_time
+                     and direct_stats.total_scc.as_dict()
+                     == replay_stats.total_scc.as_dict())
+        print(f"  bit-for-bit identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

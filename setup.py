@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that modern editable
+installs (PEP 660) require, so ``pip install -e .`` falls back to this
+classic setuptools entry point.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands cover the library's everyday uses without writing any
+Python:
+
+* ``simulate`` -- run one benchmark on one machine configuration and
+  print the headline statistics;
+* ``sweep`` -- run a benchmark over the paper's processor-cache grid
+  and print its speedup table and figure series;
+* ``report`` -- regenerate a specific table or figure of the paper
+  (cost-model ones instantly, simulation ones via the cached sweeps).
+
+Examples::
+
+    python -m repro simulate barnes-hut --procs 2 --scc 8KB
+    python -m repro simulate mp3d --procs 4 --scc 4KB --organization private
+    python -m repro sweep cholesky --profile quick
+    python -m repro report table6
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import KB, SystemConfig
+from .simulation import run_simulation
+
+__all__ = ["main"]
+
+BENCHMARKS = ("barnes-hut", "mp3d", "cholesky", "multiprogramming")
+
+SIMULATION_REPORTS = ("figure2", "table3", "table4", "figure3", "figure4",
+                      "figure5", "figure6", "table6", "table7")
+MODEL_REPORTS = ("table5", "costs")
+
+
+def parse_size(text: str) -> int:
+    """Parse ``8KB``/``512B``/``4096`` into bytes."""
+    cleaned = text.strip().upper().replace(" ", "")
+    try:
+        if cleaned.endswith("KB"):
+            return int(cleaned[:-2]) * KB
+        if cleaned.endswith("B"):
+            return int(cleaned[:-1])
+        return int(cleaned)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse size {text!r}; use forms like 8KB or 512B"
+        ) from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shared-cache multiprocessor design-space "
+                    "reproduction (Nayfeh & Olukotun, ISCA 1994)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run one benchmark on one configuration")
+    simulate.add_argument("benchmark", choices=BENCHMARKS)
+    simulate.add_argument("--procs", type=int, default=2,
+                          help="processors per cluster (default 2)")
+    simulate.add_argument("--scc", type=parse_size, default=8 * KB,
+                          help="simulated SCC size, e.g. 8KB")
+    simulate.add_argument("--clusters", type=int, default=None,
+                          help="clusters (default: 4; multiprogramming: 1)")
+    simulate.add_argument("--organization", default="shared-scc",
+                          choices=("shared-scc", "private"))
+    simulate.add_argument("--associativity", type=int, default=1)
+    simulate.add_argument("--line-size", type=parse_size, default=16)
+
+    sweep = commands.add_parser(
+        "sweep", help="run the paper's grid for one benchmark")
+    sweep.add_argument("benchmark", choices=BENCHMARKS)
+    sweep.add_argument("--profile", default=None,
+                       choices=("quick", "paper"),
+                       help="workload sizing (default: REPRO_PROFILE)")
+
+    report = commands.add_parser(
+        "report", help="regenerate one table/figure of the paper")
+    report.add_argument("experiment",
+                        choices=SIMULATION_REPORTS + MODEL_REPORTS)
+    report.add_argument("--profile", default=None,
+                        choices=("quick", "paper"))
+
+    commands.add_parser("list", help="list benchmarks and experiments")
+    return parser
+
+
+def _profile(name: Optional[str]):
+    from .experiments import PROFILES, active_profile
+    return PROFILES[name] if name else active_profile()
+
+
+def _cmd_simulate(args) -> int:
+    clusters = args.clusters
+    if clusters is None:
+        clusters = 1 if args.benchmark == "multiprogramming" else 4
+    config = SystemConfig(
+        clusters=clusters,
+        processors_per_cluster=args.procs,
+        scc_size=args.scc,
+        associativity=args.associativity,
+        line_size=args.line_size,
+        cluster_organization=args.organization,
+        model_icache=args.benchmark == "multiprogramming")
+    from .experiments import PROFILES
+    workload = PROFILES["quick"].workload(args.benchmark)
+    result = run_simulation(config, workload)
+    stats = result.stats
+    total = stats.total_scc
+    print(f"benchmark          : {args.benchmark}")
+    print(f"configuration      : {clusters} clusters x {args.procs} procs, "
+          f"{args.scc} B SCC, {args.organization}")
+    print(f"execution time     : {stats.execution_time:,} cycles")
+    print(f"data references    : {total.accesses:,}")
+    print(f"read miss rate     : {100 * total.read_miss_rate:.2f} %")
+    print(f"invalidations      : {stats.total_invalidations:,}")
+    print(f"trace events       : {result.events_processed:,}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import (multiprogramming_sweep, parallel_sweep,
+                              render_figure, render_figure5,
+                              render_figure6, render_speedups)
+    profile = _profile(args.profile)
+    if args.benchmark == "multiprogramming":
+        sweep = multiprogramming_sweep(profile)
+        print(render_figure5(sweep))
+        print()
+        print(render_figure6(sweep))
+    else:
+        sweep = parallel_sweep(args.benchmark, profile)
+        print(render_figure(args.benchmark, sweep))
+        print()
+        print(render_speedups(args.benchmark, sweep))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from . import experiments as exp
+    profile = _profile(args.profile)
+    if args.experiment == "table5":
+        print(exp.render_table5())
+        return 0
+    if args.experiment == "costs":
+        print(exp.render_section4_costs())
+        return 0
+    if args.experiment in ("figure5", "figure6"):
+        sweep = exp.multiprogramming_sweep(profile)
+        renderer = (exp.render_figure5 if args.experiment == "figure5"
+                    else exp.render_figure6)
+        print(renderer(sweep))
+        return 0
+    if args.experiment in ("table6", "table7"):
+        sweeps = {name: exp.parallel_sweep(name, profile)
+                  for name in ("barnes-hut", "mp3d", "cholesky")}
+        sweeps["multiprogramming"] = exp.multiprogramming_sweep(profile)
+        renderer = (exp.render_table6 if args.experiment == "table6"
+                    else exp.render_table7)
+        print(renderer(sweeps))
+        return 0
+    benchmark = {"figure2": "barnes-hut", "table3": "barnes-hut",
+                 "table4": "barnes-hut", "figure3": "mp3d",
+                 "figure4": "cholesky"}[args.experiment]
+    sweep = exp.parallel_sweep(benchmark, profile)
+    if args.experiment == "table3":
+        print(exp.render_speedups(benchmark, sweep, exp.PAPER_TABLE3))
+    elif args.experiment == "table4":
+        print(exp.render_miss_rates(benchmark, sweep, exp.PAPER_TABLE4))
+    else:
+        print(exp.render_figure(benchmark, sweep))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("benchmarks:")
+    for name in BENCHMARKS:
+        print(f"  {name}")
+    print("experiments (report <name>):")
+    for name in SIMULATION_REPORTS + MODEL_REPORTS:
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

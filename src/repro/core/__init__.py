@@ -1,0 +1,35 @@
+"""Cycle-level clustered shared-cache multiprocessor simulator.
+
+The paper's primary evaluation vehicle: four clusters of one to eight
+processors each sharing a banked, multi-ported Shared Cluster Cache, kept
+coherent over a snoopy invalidation bus (Sections 2.1-2.2).
+"""
+
+from .bus import BusTransaction, SnoopyBus
+from .cache import (INVALID, MODIFIED, SHARED, STATE_NAMES,
+                    DirectMappedArray, SetAssociativeArray, make_array)
+from .cluster import Cluster
+from .coherence import AccessOutcome, CoherenceController
+from .directory import DirectoryController, DirectoryEntry
+from .config import KB, SystemConfig
+from .icache import INSTRUCTION_BYTES, InstructionCache
+from .interconnect import BankInterconnect
+from .private import PrivateCache, PrivateClusterSystem
+from .processor import ProcessorState
+from .scc import SharedClusterCache
+from .stats import ProcessorStats, SccStats, SystemStats
+from .system import MultiprocessorSystem
+
+__all__ = [
+    "BusTransaction", "SnoopyBus",
+    "INVALID", "MODIFIED", "SHARED", "STATE_NAMES", "DirectMappedArray",
+    "SetAssociativeArray", "make_array",
+    "PrivateCache", "PrivateClusterSystem",
+    "Cluster", "AccessOutcome", "CoherenceController",
+    "DirectoryController", "DirectoryEntry",
+    "KB", "SystemConfig",
+    "INSTRUCTION_BYTES", "InstructionCache", "BankInterconnect",
+    "ProcessorState", "SharedClusterCache",
+    "ProcessorStats", "SccStats", "SystemStats",
+    "MultiprocessorSystem",
+]

@@ -1,0 +1,70 @@
+"""The inter-cluster snoopy bus.
+
+Section 2.2.2 fixes the latency to fetch a line from main memory or a
+remote SCC at 100 processor cycles.  The bus itself, however, is a shared
+serial resource: when several SCCs miss at once their transactions queue.
+We model that with a single busy-until timestamp -- a transaction issued at
+``t`` starts at ``max(t, busy_until)``, holds the bus for its occupancy,
+and the requester sees ``start - t`` extra wait on top of the fixed fetch
+latency.  This queueing is what lets bus saturation emerge for
+invalidation-heavy workloads (MP3D, Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BusTransaction", "SnoopyBus"]
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """Outcome of one bus transaction.
+
+    ``start`` is when the bus was granted, ``wait`` the queueing delay
+    before the grant, and ``done`` when the requester's transfer (data or
+    broadcast) completed.
+    """
+
+    start: int
+    wait: int
+    done: int
+
+
+class SnoopyBus:
+    """Single shared split-transaction bus with FCFS arbitration."""
+
+    __slots__ = ("_busy_until", "transactions", "busy_cycles")
+
+    def __init__(self) -> None:
+        self._busy_until = 0
+        self.transactions = 0
+        self.busy_cycles = 0
+
+    def acquire(self, now: int, occupancy: int, latency: int) -> BusTransaction:
+        """Arbitrate for the bus at time ``now``.
+
+        The transaction occupies the bus for ``occupancy`` cycles starting
+        at the grant; the requester's result (line data, or broadcast
+        completion) is available ``latency`` cycles after the grant.  For a
+        line fetch ``latency`` is the paper's fixed 100 cycles, of which
+        only ``occupancy`` serializes against other traffic (the rest is
+        memory access time overlapped with other transactions).
+        """
+        if occupancy < 0 or latency < 0:
+            raise ValueError("occupancy and latency must be non-negative")
+        start = max(now, self._busy_until)
+        self._busy_until = start + occupancy
+        self.transactions += 1
+        self.busy_cycles += occupancy
+        return BusTransaction(start=start, wait=start - now,
+                              done=start + latency)
+
+    @property
+    def busy_until(self) -> int:
+        """Time at which the bus next becomes free (for tests)."""
+        return self._busy_until
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the bus was held."""
+        return self.busy_cycles / elapsed if elapsed else 0.0

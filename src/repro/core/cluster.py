@@ -1,0 +1,45 @@
+"""A cluster: processors, their instruction caches, and one SCC.
+
+Figure 1's building block.  The cluster owns no timing logic of its own --
+it wires the per-cluster components together and gives the system and the
+tests one place to reach them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import SystemConfig
+from .icache import InstructionCache
+from .processor import ProcessorState
+from .scc import SharedClusterCache
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """One cluster of the base architecture."""
+
+    __slots__ = ("config", "cluster_id", "scc", "processors", "icaches")
+
+    def __init__(self, config: SystemConfig, cluster_id: int):
+        if not 0 <= cluster_id < config.clusters:
+            raise ValueError("cluster_id out of range")
+        self.config = config
+        self.cluster_id = cluster_id
+        self.scc = SharedClusterCache(config, cluster_id)
+        first = cluster_id * config.processors_per_cluster
+        self.processors: List[ProcessorState] = [
+            ProcessorState(first + i, cluster_id)
+            for i in range(config.processors_per_cluster)
+        ]
+        self.icaches: List[InstructionCache] = [
+            InstructionCache(config)
+            for _ in range(config.processors_per_cluster)
+        ]
+
+    @property
+    def processor_ids(self) -> range:
+        """Machine-global processor ids living in this cluster."""
+        first = self.cluster_id * self.config.processors_per_cluster
+        return range(first, first + self.config.processors_per_cluster)

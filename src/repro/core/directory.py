@@ -1,0 +1,264 @@
+"""Directory-based inter-cluster coherence (the DASH alternative).
+
+The paper's machine snoops a single bus between clusters, and motivates
+clustering precisely because "bus performance has not scaled at the same
+rate as processor performance" (Section 2.1).  Its contemporary contrast
+was Stanford DASH (the paper's reference [13]), which replaced the bus
+with a full-map directory and point-to-point messages so coherence
+bandwidth scales with node count.
+
+:class:`DirectoryController` is that alternative for this simulator: the
+Shared Cluster Caches are unchanged, but inter-cluster transactions go
+through interleaved directory banks instead of a broadcast bus.
+
+* Each line has a home directory bank (interleaved by line number); a
+  bank serves one transaction per ``directory_occupancy`` cycles, so
+  hot-spotting is modelled, but independent lines proceed in parallel --
+  there is no machine-wide serialization point.
+* A clean miss is a two-hop request/response (``memory_latency``); a
+  miss to a line dirty in another cluster is a three-hop transaction
+  (``remote_dirty_latency``); writes to shared lines pay an
+  invalidation round (``invalidation_latency``) before ownership.
+* The directory's sharer sets are kept exact: SCC evictions notify the
+  home (replacement hints), and the test suite checks
+  directory-vs-cache consistency as an invariant.
+
+Select with ``SystemConfig(inter_cluster="directory")``; everything else
+(workloads, experiments, statistics) runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from .cache import INVALID, MODIFIED, SHARED
+from .coherence import AccessOutcome
+from .config import SystemConfig
+from .scc import SharedClusterCache
+
+__all__ = ["DirectoryEntry", "DirectoryController"]
+
+
+class DirectoryEntry:
+    """Full-map state for one line: its sharers and (dirty) owner."""
+
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"DirectoryEntry(sharers={self.sharers}, owner={self.owner})"
+
+
+class DirectoryController:
+    """Protocol engine: SCCs + interleaved full-map directory banks."""
+
+    __slots__ = ("config", "sccs", "entries", "_bank_free", "messages",
+                 "bank_wait_cycles")
+
+    def __init__(self, config: SystemConfig,
+                 sccs: Sequence[SharedClusterCache]):
+        if len(sccs) != config.clusters:
+            raise ValueError("one SCC per cluster required")
+        self.config = config
+        self.sccs = list(sccs)
+        self.entries: Dict[int, DirectoryEntry] = {}
+        self._bank_free = [0] * config.directory_banks
+        self.messages = 0
+        """Point-to-point coherence messages sent (requests, responses,
+        invalidations, acknowledgements)."""
+        self.bank_wait_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Directory plumbing
+    # ------------------------------------------------------------------
+
+    def _entry(self, line: int) -> DirectoryEntry:
+        entry = self.entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self.entries[line] = entry
+        return entry
+
+    def _claim_bank(self, line: int, now: int) -> int:
+        """Serialize on the line's home directory bank; returns the
+        service start time."""
+        bank = line % self.config.directory_banks
+        start = max(now, self._bank_free[bank])
+        self._bank_free[bank] = start + self.config.directory_occupancy
+        self.bank_wait_cycles += start - now
+        return start
+
+    # ------------------------------------------------------------------
+    # Access entry point (same contract as CoherenceController)
+    # ------------------------------------------------------------------
+
+    def access(self, cluster: int, line: int, is_write: bool,
+               start: int) -> AccessOutcome:
+        scc = self.sccs[cluster]
+        if is_write:
+            return self._write(scc, cluster, line, start)
+        return self._read(scc, cluster, line, start)
+
+    def _read(self, scc: SharedClusterCache, cluster: int, line: int,
+              start: int) -> AccessOutcome:
+        scc.stats.reads += 1
+        if scc.array.state(line) != INVALID:
+            scc.array.touch(line)
+            ready = scc.fill_ready_time(line, start)
+            done = (ready if ready is not None else start) + 1
+            return AccessOutcome(complete=done, retire=done, hit=True)
+        scc.stats.read_misses += 1
+        if scc.consume_lost(line):
+            scc.stats.coherence_read_misses += 1
+        service = self._claim_bank(line, start)
+        wait = service - start
+        entry = self._entry(line)
+        self.messages += 2      # request + data response
+        if entry.owner is not None and entry.owner != cluster:
+            # Three-hop: home forwards to the dirty owner, which supplies
+            # the data and downgrades.
+            latency = self.config.remote_dirty_latency
+            self.messages += 1
+            owner_scc = self.sccs[entry.owner]
+            if owner_scc.array.state(line) == MODIFIED:
+                owner_scc.array.set_state(line, SHARED)
+                scc.stats.interventions += 1
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+        else:
+            latency = self.config.memory_latency
+        entry.sharers.add(cluster)
+        done = service + latency
+        self._install(scc, line, SHARED, ready=done)
+        scc.stats.bus_wait_cycles += wait
+        return AccessOutcome(complete=done + 1, retire=done + 1,
+                             hit=False, bus_wait=wait)
+
+    def _write(self, scc: SharedClusterCache, cluster: int, line: int,
+               start: int) -> AccessOutcome:
+        scc.stats.writes += 1
+        state = scc.array.state(line)
+        if state == MODIFIED:
+            scc.array.touch(line)
+            ready = scc.fill_ready_time(line, start)
+            done = (ready if ready is not None else start) + 1
+            return AccessOutcome(complete=done, retire=done, hit=True)
+
+        service = self._claim_bank(line, start)
+        wait = service - start
+        entry = self._entry(line)
+
+        if state == SHARED:
+            # Upgrade: the home invalidates the other sharers; the store
+            # drains from the write buffer so the processor rolls on.
+            scc.array.touch(line)
+            scc.stats.upgrades += 1
+            killed = self._invalidate_sharers(entry, line, cluster)
+            retire = service + (self.config.invalidation_latency
+                                if killed else
+                                self.config.directory_occupancy)
+            entry.sharers = {cluster}
+            entry.owner = cluster
+            scc.array.set_state(line, MODIFIED)
+            self.messages += 1 + 2 * killed   # upgrade + inval/ack pairs
+            scc.stats.bus_wait_cycles += wait
+            return AccessOutcome(complete=start + 1, retire=retire,
+                                 hit=True, bus_wait=wait,
+                                 invalidations=killed)
+
+        # Write miss: fetch with ownership.
+        scc.stats.write_misses += 1
+        scc.consume_lost(line)
+        latency = self.config.memory_latency
+        self.messages += 2
+        if entry.owner is not None and entry.owner != cluster:
+            latency = self.config.remote_dirty_latency
+            self.messages += 1
+            owner_scc = self.sccs[entry.owner]
+            if owner_scc.array.state(line) == MODIFIED:
+                owner_scc.array.invalidate(line)
+                owner_scc.note_lost(line)
+                owner_scc.drop_inflight(line)
+                owner_scc.stats.invalidations_received += 1
+                scc.stats.invalidations_sent += 1
+            entry.owner = None
+            entry.sharers.discard(cluster)
+            killed = 1
+        else:
+            killed = self._invalidate_sharers(entry, line, cluster)
+            if killed:
+                latency = max(latency, self.config.invalidation_latency)
+            self.messages += 2 * killed
+        entry.sharers = {cluster}
+        entry.owner = cluster
+        done = service + latency
+        self._install(scc, line, MODIFIED, ready=done)
+        scc.stats.bus_wait_cycles += wait
+        return AccessOutcome(complete=start + 1, retire=done, hit=False,
+                             bus_wait=wait, invalidations=killed)
+
+    def _invalidate_sharers(self, entry: DirectoryEntry, line: int,
+                            writer: int) -> int:
+        """Invalidate every sharer except the writer; returns the count
+        of copies actually invalidated."""
+        killed = 0
+        writer_scc = self.sccs[writer]
+        for sharer in list(entry.sharers):
+            if sharer == writer:
+                continue
+            other = self.sccs[sharer]
+            if other.array.invalidate(line):
+                other.note_lost(line)
+                other.drop_inflight(line)
+                other.stats.invalidations_received += 1
+                writer_scc.stats.invalidations_sent += 1
+                killed += 1
+            entry.sharers.discard(sharer)
+        return killed
+
+    # ------------------------------------------------------------------
+    # Fills, replacement, invariants
+    # ------------------------------------------------------------------
+
+    def _install(self, scc: SharedClusterCache, line: int, state: int,
+                 ready: int) -> None:
+        victim = scc.array.install(line, state)
+        scc.note_fill(line, ready)
+        if victim is not None:
+            victim_line, victim_state = victim
+            scc.drop_inflight(victim_line)
+            scc.stats.evictions += 1
+            # Replacement hint: keep the directory's map exact.
+            entry = self.entries.get(victim_line)
+            if entry is not None:
+                entry.sharers.discard(scc.cluster_id)
+                if entry.owner == scc.cluster_id:
+                    entry.owner = None
+            if victim_state == MODIFIED:
+                scc.stats.writebacks += 1
+                self.messages += 1
+
+    def check_consistency(self) -> None:
+        """Directory state must exactly mirror the caches."""
+        for line, entry in self.entries.items():
+            for cluster, scc in enumerate(self.sccs):
+                cached = scc.array.state(line)
+                if cached == MODIFIED:
+                    if entry.owner != cluster:
+                        raise AssertionError(
+                            f"line {line:#x} MODIFIED in cluster "
+                            f"{cluster} but directory owner is "
+                            f"{entry.owner}")
+                elif cached == SHARED:
+                    if cluster not in entry.sharers:
+                        raise AssertionError(
+                            f"line {line:#x} SHARED in cluster {cluster} "
+                            f"but absent from the directory's sharers")
+                else:
+                    if entry.owner == cluster:
+                        raise AssertionError(
+                            f"directory says cluster {cluster} owns "
+                            f"line {line:#x} but it is not cached")

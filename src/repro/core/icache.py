@@ -1,0 +1,55 @@
+"""Per-processor instruction caches.
+
+Each processor in a cluster has its own instruction cache (Section 2.1);
+the chip floorplans of Section 4 provision 16 KB per processor.  Workloads
+fetch instructions in basic-block-sized runs (:class:`repro.trace.events.Ifetch`),
+and the cache walks the lines the run covers.
+
+Instructions are ``INSTRUCTION_BYTES`` (4) bytes each, the natural size for
+the 64-bit RISC processor (DEC Alpha 21064) the paper models.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .cache import DirectMappedArray, SHARED
+from .config import SystemConfig
+
+__all__ = ["InstructionCache", "INSTRUCTION_BYTES"]
+
+INSTRUCTION_BYTES = 4
+
+
+class InstructionCache:
+    """Direct-mapped instruction cache for one processor."""
+
+    __slots__ = ("config", "array", "misses", "fetch_lines")
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.array = DirectMappedArray(
+            config.icache_size // config.icache_line_size)
+        self.misses = 0
+        self.fetch_lines = 0
+
+    def fetch(self, addr: int, count: int) -> int:
+        """Fetch ``count`` sequential instructions starting at ``addr``.
+
+        Returns the number of line misses incurred; the caller converts
+        misses into stall cycles and bus traffic.  Tag state is updated
+        (missing lines are installed) as a side effect.
+        """
+        if count < 1:
+            raise ValueError("must fetch at least one instruction")
+        line_size = self.config.icache_line_size
+        first_line = addr // line_size
+        last_line = (addr + count * INSTRUCTION_BYTES - 1) // line_size
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            self.fetch_lines += 1
+            if not self.array.contains(line):
+                self.array.install(line, SHARED)
+                misses += 1
+        self.misses += misses
+        return misses

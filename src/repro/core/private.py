@@ -1,0 +1,275 @@
+"""The private-cache cluster organization (Section 2.1's alternative).
+
+Before settling on the shared cluster cache, the paper weighs the other
+way to build a cluster: "separate per processor caches which are kept
+coherent over a high bandwidth intra-cluster bus".  Its advantages and
+disadvantages are exactly what this module lets you measure against the
+SCC:
+
+* total cache bandwidth scales with the processors (no bank conflicts
+  between cluster-mates);
+* but actively shared data is *replicated* per processor, coherence
+  misses and invalidation traffic appear *inside* the cluster, and the
+  paper's prefetching effect disappears (a line a neighbour fetched is
+  in the neighbour's cache, not yours -- though the intra-cluster bus
+  supplies it far faster than memory);
+* independent processes no longer conflict in a shared array.
+
+:class:`PrivateClusterSystem` implements the hierarchical MSI snooping
+this design needs -- an intra-cluster bus per cluster plus the global
+inter-cluster bus -- behind the same interface as
+:class:`repro.core.system.MultiprocessorSystem`, so any workload and the
+whole experiment harness run unchanged on either organization (select
+with ``SystemConfig(cluster_organization="private")``).  The per-cluster
+SRAM budget is held equal: each processor gets ``scc_size /
+processors_per_cluster``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .bus import SnoopyBus
+from .cache import INVALID, MODIFIED, SHARED, make_array
+from .config import SystemConfig
+from .icache import InstructionCache
+from .processor import ProcessorState
+from .stats import SccStats, SystemStats
+
+__all__ = ["PrivateCache", "PrivateClusterSystem"]
+
+
+class PrivateCache:
+    """One processor's private data cache (single ported)."""
+
+    __slots__ = ("array", "stats", "_lost_lines")
+
+    def __init__(self, num_lines: int, associativity: int):
+        self.array = make_array(num_lines, associativity)
+        self.stats = SccStats()
+        self._lost_lines: Set[int] = set()
+
+    def note_lost(self, line: int) -> None:
+        self._lost_lines.add(line)
+
+    def consume_lost(self, line: int) -> bool:
+        if line in self._lost_lines:
+            self._lost_lines.remove(line)
+            return True
+        return False
+
+
+class PrivateClusterSystem:
+    """Clusters of private caches with two-level snooping coherence."""
+
+    def __init__(self, config: SystemConfig):
+        if config.cluster_organization != "private":
+            raise ValueError(
+                "config is not a private-cache organization")
+        self.config = config
+        lines = config.private_cache_size // config.line_size
+        self.caches: List[PrivateCache] = [
+            PrivateCache(lines, config.associativity)
+            for _ in range(config.total_processors)]
+        self.intra_buses: List[SnoopyBus] = [
+            SnoopyBus() for _ in range(config.clusters)]
+        self.global_bus = SnoopyBus()
+        self._procs = [ProcessorState(p, config.cluster_of(p))
+                       for p in range(config.total_processors)]
+        self.icaches: List[InstructionCache] = [
+            InstructionCache(config)
+            for _ in range(config.total_processors)]
+        self.intra_invalidations = 0
+        """Copies invalidated *within* a cluster -- the coherence traffic
+        the shared SCC eliminates by holding a single copy."""
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+
+    def _cluster_mates(self, proc: int) -> range:
+        first = (proc // self.config.processors_per_cluster
+                 * self.config.processors_per_cluster)
+        return range(first, first + self.config.processors_per_cluster)
+
+    def _sibling_holders(self, proc: int, line: int) -> List[int]:
+        return [mate for mate in self._cluster_mates(proc)
+                if mate != proc
+                and self.caches[mate].array.state(line) != INVALID]
+
+    def _remote_holders(self, proc: int, line: int) -> List[int]:
+        mates = set(self._cluster_mates(proc))
+        return [other for other in range(self.config.total_processors)
+                if other not in mates
+                and self.caches[other].array.state(line) != INVALID]
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def data_access(self, proc: int, addr: int, is_write: bool,
+                    now: int) -> int:
+        line = self.config.line_of(addr)
+        complete = (self._write(proc, line, now) if is_write
+                    else self._read(proc, line, now))
+        self._procs[proc].account_reference(now, complete)
+        return complete
+
+    def _read(self, proc: int, line: int, now: int) -> int:
+        cache = self.caches[proc]
+        cache.stats.reads += 1
+        if cache.array.state(line) != INVALID:
+            cache.array.touch(line)
+            return now + 1
+        cache.stats.read_misses += 1
+        if cache.consume_lost(line):
+            cache.stats.coherence_read_misses += 1
+        config = self.config
+        cluster = config.cluster_of(proc)
+        intra = self.intra_buses[cluster].acquire(
+            now, config.intra_bus_occupancy, config.intra_transfer_latency)
+        siblings = self._sibling_holders(proc, line)
+        if siblings:
+            # Cache-to-cache transfer inside the cluster; a MODIFIED
+            # owner downgrades.
+            for mate in siblings:
+                if self.caches[mate].array.state(line) == MODIFIED:
+                    self.caches[mate].array.set_state(line, SHARED)
+                    cache.stats.interventions += 1
+            done = intra.done
+        else:
+            tx = self.global_bus.acquire(intra.start,
+                                         config.bus_occupancy,
+                                         config.memory_latency)
+            cache.stats.bus_wait_cycles += tx.wait
+            for other in self._remote_holders(proc, line):
+                if self.caches[other].array.state(line) == MODIFIED:
+                    self.caches[other].array.set_state(line, SHARED)
+                    cache.stats.interventions += 1
+            done = tx.done
+        self._install(proc, line, SHARED, now)
+        return done + 1
+
+    def _write(self, proc: int, line: int, now: int) -> int:
+        cache = self.caches[proc]
+        cache.stats.writes += 1
+        config = self.config
+        cluster = config.cluster_of(proc)
+        state = cache.array.state(line)
+        if state == MODIFIED:
+            cache.array.touch(line)
+            return now + 1
+        if state == SHARED:
+            # Upgrade: invalidate siblings over the intra-cluster bus
+            # and, if any copy lives outside the cluster, broadcast on
+            # the global bus too.  The write buffer hides it all.
+            cache.array.touch(line)
+            cache.stats.upgrades += 1
+            self.intra_buses[cluster].acquire(
+                now, config.intra_bus_occupancy,
+                config.intra_bus_occupancy)
+            self._invalidate_siblings(proc, line)
+            if self._remote_holders(proc, line):
+                self.global_bus.acquire(now, config.upgrade_bus_occupancy,
+                                        config.upgrade_bus_occupancy)
+                self._invalidate_remote(proc, line)
+            cache.array.set_state(line, MODIFIED)
+            return now + 1
+        # Write miss: fetch exclusive from the nearest holder.
+        cache.stats.write_misses += 1
+        cache.consume_lost(line)
+        intra = self.intra_buses[cluster].acquire(
+            now, config.intra_bus_occupancy, config.intra_transfer_latency)
+        had_sibling = bool(self._sibling_holders(proc, line))
+        self._invalidate_siblings(proc, line)
+        if had_sibling and not self._remote_holders(proc, line):
+            pass  # whole transaction stayed inside the cluster
+        else:
+            tx = self.global_bus.acquire(intra.start,
+                                         config.bus_occupancy,
+                                         config.memory_latency)
+            cache.stats.bus_wait_cycles += tx.wait
+            self._invalidate_remote(proc, line)
+        self._install(proc, line, MODIFIED, now)
+        return now + 1
+
+    def _invalidate_siblings(self, proc: int, line: int) -> None:
+        for mate in self._sibling_holders(proc, line):
+            self.caches[mate].array.invalidate(line)
+            self.caches[mate].note_lost(line)
+            self.caches[mate].stats.invalidations_received += 1
+            self.caches[proc].stats.invalidations_sent += 1
+            self.intra_invalidations += 1
+
+    def _invalidate_remote(self, proc: int, line: int) -> None:
+        for other in self._remote_holders(proc, line):
+            self.caches[other].array.invalidate(line)
+            self.caches[other].note_lost(line)
+            self.caches[other].stats.invalidations_received += 1
+            self.caches[proc].stats.invalidations_sent += 1
+
+    def _install(self, proc: int, line: int, state: int,
+                 now: int) -> None:
+        cache = self.caches[proc]
+        victim = cache.array.install(line, state)
+        if victim is not None:
+            _victim_line, victim_state = victim
+            cache.stats.evictions += 1
+            if victim_state == MODIFIED:
+                # The write-back rides behind the fetch; nobody waits on
+                # it but it consumes global bus occupancy.
+                cache.stats.writebacks += 1
+                self.global_bus.acquire(now, self.config.bus_occupancy, 0)
+
+    # ------------------------------------------------------------------
+    # Instruction fetch and accounting (same contract as the SCC system)
+    # ------------------------------------------------------------------
+
+    def ifetch(self, proc: int, addr: int, count: int, now: int) -> int:
+        stall = 0
+        if self.config.model_icache:
+            misses = self.icaches[proc].fetch(addr, count)
+            for _ in range(misses):
+                tx = self.global_bus.acquire(
+                    now + stall, self.config.bus_occupancy,
+                    self.config.icache_miss_latency)
+                stall = tx.done - now
+        self._procs[proc].account_ifetch(count, stall)
+        return now + count + stall
+
+    def account_compute(self, proc: int, cycles: int) -> None:
+        self._procs[proc].account_compute(cycles)
+
+    def account_sync(self, proc: int, cycles: int) -> None:
+        self._procs[proc].account_sync_stall(cycles)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def stats(self, execution_time: int = 0) -> SystemStats:
+        """Per-*cache* stats in ``scc`` (one entry per processor)."""
+        stats = SystemStats(
+            scc=[cache.stats for cache in self.caches],
+            processors=[proc.stats for proc in self._procs],
+            execution_time=execution_time,
+        )
+        stats.icache_misses = sum(ic.misses for ic in self.icaches)
+        stats.icache_fetch_lines = sum(ic.fetch_lines
+                                       for ic in self.icaches)
+        return stats
+
+    def check_invariants(self) -> None:
+        """MODIFIED exclusivity across *all* private caches."""
+        holders: Dict[int, List[int]] = {}
+        owners: Dict[int, int] = {}
+        for index, cache in enumerate(self.caches):
+            for line, state in cache.array.resident_lines():
+                holders.setdefault(line, []).append(index)
+                if state == MODIFIED:
+                    owners[line] = owners.get(line, 0) + 1
+        for line, count in owners.items():
+            if count > 1 or len(holders[line]) > 1:
+                raise AssertionError(
+                    f"line {line:#x} violates MODIFIED exclusivity "
+                    f"across private caches")

@@ -1,0 +1,66 @@
+"""Per-processor timing accounting.
+
+The processors are in-order five-stage pipelines (Section 4.1, Figure 7)
+with a base CPI of one; every instruction costs one issue cycle and memory
+stalls add on top.  The Section 3 design-space sweeps deliberately exclude
+the extra pipeline load latency of the larger clusters -- that correction
+is applied afterwards from Table 5 (see :mod:`repro.cost.latency`), exactly
+as the paper does in Section 5.
+
+:class:`ProcessorState` turns event completion times into the busy /
+memory-stall / sync-stall breakdown reported in
+:class:`repro.core.stats.ProcessorStats`.
+"""
+
+from __future__ import annotations
+
+from .stats import ProcessorStats
+
+__all__ = ["ProcessorState"]
+
+
+class ProcessorState:
+    """Cycle bookkeeping for one processor."""
+
+    __slots__ = ("proc_id", "cluster_id", "stats", "finish_time")
+
+    def __init__(self, proc_id: int, cluster_id: int):
+        self.proc_id = proc_id
+        self.cluster_id = cluster_id
+        self.stats = ProcessorStats()
+        self.finish_time = 0
+
+    def account_compute(self, cycles: int) -> None:
+        """``cycles`` of straight-line execution (one instruction each)."""
+        if cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+        self.stats.busy_cycles += cycles
+        self.stats.instructions += cycles
+
+    def account_reference(self, issued: int, complete: int) -> None:
+        """A data reference issued at ``issued`` finishing at ``complete``.
+
+        One cycle is the instruction's own issue slot; anything beyond is
+        memory stall (bank conflicts, bus waits, miss latency, write-buffer
+        pressure).
+        """
+        total = complete - issued
+        if total < 1:
+            raise ValueError("a reference takes at least its issue cycle")
+        self.stats.references += 1
+        self.stats.instructions += 1
+        self.stats.busy_cycles += 1
+        self.stats.memory_stall_cycles += total - 1
+        self.finish_time = complete
+
+    def account_ifetch(self, count: int, stall: int) -> None:
+        """``count`` instructions fetched with ``stall`` refill cycles."""
+        self.stats.instructions += count
+        self.stats.busy_cycles += count
+        self.stats.icache_stall_cycles += stall
+
+    def account_sync_stall(self, cycles: int) -> None:
+        """Cycles blocked on a lock, barrier, or empty task queue."""
+        if cycles < 0:
+            raise ValueError("sync stall must be non-negative")
+        self.stats.sync_stall_cycles += cycles

@@ -1,0 +1,164 @@
+"""Statistics gathered by the clustered shared-cache simulator.
+
+The paper reports read miss rates (Table 4), invalidation counts
+(Sections 3.1.2/3.1.3), and execution times (every figure).  These counters
+are the single source of truth for all of them.  ``SccStats`` counts one
+Shared Cluster Cache; ``ProcessorStats`` breaks a processor's time into the
+categories the paper discusses (busy vs. waiting on memory vs. waiting on
+synchronization); ``SystemStats`` aggregates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["SccStats", "ProcessorStats", "SystemStats"]
+
+
+@dataclass
+class SccStats:
+    """Event counts for one Shared Cluster Cache."""
+
+    reads: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    """Write hits to SHARED lines that broadcast an invalidation."""
+
+    invalidations_sent: int = 0
+    """Remote copies this SCC's writes invalidated."""
+
+    invalidations_received: int = 0
+    """Lines in this SCC invalidated by remote writers."""
+
+    interventions: int = 0
+    """Remote MODIFIED lines this SCC's reads downgraded to SHARED."""
+
+    writebacks: int = 0
+    """Dirty victims written back to memory on replacement."""
+
+    evictions: int = 0
+    """All victims displaced on replacement (dirty or clean)."""
+
+    coherence_read_misses: int = 0
+    """Read misses to lines this SCC once held but lost to an
+    invalidation -- the paper's 'invalidation misses'."""
+
+    bank_conflict_cycles: int = 0
+    """Cycles processors waited because a bank was busy."""
+
+    bus_wait_cycles: int = 0
+    """Cycles waited for the shared bus beyond the fixed fetch latency."""
+
+    write_buffer_stall_cycles: int = 0
+    """Cycles processors stalled on a full write buffer."""
+
+    @property
+    def accesses(self) -> int:
+        """All data accesses this SCC serviced."""
+        return self.reads + self.writes
+
+    @property
+    def read_miss_rate(self) -> float:
+        """Read misses / reads -- the metric of Table 4 (0.0 if idle)."""
+        return self.read_misses / self.reads if self.reads else 0.0
+
+    @property
+    def write_miss_rate(self) -> float:
+        """Write misses / writes (0.0 if idle)."""
+        return self.write_misses / self.writes if self.writes else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Combined data miss rate (0.0 if idle)."""
+        misses = self.read_misses + self.write_misses
+        return misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "SccStats") -> "SccStats":
+        """Return a new ``SccStats`` holding the sum of both operands."""
+        merged = SccStats()
+        for name in vars(self):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports and trace files)."""
+        return dict(vars(self))
+
+
+@dataclass
+class ProcessorStats:
+    """Cycle breakdown for one processor."""
+
+    busy_cycles: int = 0
+    """Cycles executing instructions (Compute + the reference slots)."""
+
+    memory_stall_cycles: int = 0
+    """Cycles stalled on cache misses, bank conflicts and full buffers."""
+
+    sync_stall_cycles: int = 0
+    """Cycles blocked on locks, barriers and empty task queues."""
+
+    icache_stall_cycles: int = 0
+    """Cycles stalled on instruction cache refills."""
+
+    references: int = 0
+    """Data references issued."""
+
+    instructions: int = 0
+    """Instructions executed (Compute cycles + fetched instructions +
+    one per data reference)."""
+
+    @property
+    def total_cycles(self) -> int:
+        """All accounted cycles for this processor."""
+        return (self.busy_cycles + self.memory_stall_cycles
+                + self.sync_stall_cycles + self.icache_stall_cycles)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict."""
+        return dict(vars(self))
+
+
+@dataclass
+class SystemStats:
+    """Aggregated statistics for a whole simulation run."""
+
+    scc: List[SccStats] = field(default_factory=list)
+    processors: List[ProcessorStats] = field(default_factory=list)
+    execution_time: int = 0
+    """Simulated cycles until the last process finished."""
+
+    icache_misses: int = 0
+    icache_fetch_lines: int = 0
+
+    @property
+    def total_scc(self) -> SccStats:
+        """Machine-wide SCC counters (sum over clusters)."""
+        total = SccStats()
+        for stats in self.scc:
+            total = total.merge(stats)
+        return total
+
+    @property
+    def total_invalidations(self) -> int:
+        """Invalidations actually performed across the machine -- the
+        quantity Sections 3.1.1-3.1.3 track against cluster size."""
+        return self.total_scc.invalidations_received
+
+    @property
+    def read_miss_rate(self) -> float:
+        """Machine-wide SCC read miss rate (Table 4's metric)."""
+        return self.total_scc.read_miss_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested plain-dict form for serialization in result caches."""
+        return {
+            "execution_time": self.execution_time,
+            "icache_misses": self.icache_misses,
+            "icache_fetch_lines": self.icache_fetch_lines,
+            "scc": [stats.as_dict() for stats in self.scc],
+            "processors": [stats.as_dict() for stats in self.processors],
+        }

@@ -1,0 +1,34 @@
+"""Implementation cost models of Sections 4-5: process technology, SRAM
+blocks, crossbar ICN, pad counting, chip floorplans, the pixstats-style
+load-latency sensitivity model, and the cost/performance combination."""
+
+from .costperf import (ComparisonCell, ComparisonTable,
+                       compare_configurations, cost_performance_gain,
+                       mcm_table, single_chip_table)
+from .floorplan import (CLUSTER_IMPLEMENTATIONS, ClusterImplementation,
+                        implementation_for)
+from .icn import DEFAULT_PITCH_UM, WIRES_PER_PORT, crossbar_area_mm2
+from .latency import (PAPER_LATENCY_MODELS, PAPER_TABLE5, LoadLatencyModel,
+                      latency_factor)
+from .pins import (LINES_PER_PROCESSOR, PackagingChoice, choose_packaging,
+                   perimeter_pad_capacity, signal_pads)
+from .sram import (DATA_CACHE_BLOCK, SCC_BANK_BLOCK, SramBlock,
+                   access_time_fo4, cache_area_mm2,
+                   max_direct_mapped_bytes)
+from .technology import (ALPHA_21064, BANK_ARBITRATION_FO4, CYCLE_TIME_FO4,
+                         PAPER_PROCESS, ProcessNode, ScaledProcessor)
+
+__all__ = [
+    "ComparisonCell", "ComparisonTable", "compare_configurations",
+    "cost_performance_gain", "mcm_table", "single_chip_table",
+    "CLUSTER_IMPLEMENTATIONS", "ClusterImplementation", "implementation_for",
+    "DEFAULT_PITCH_UM", "WIRES_PER_PORT", "crossbar_area_mm2",
+    "PAPER_LATENCY_MODELS", "PAPER_TABLE5", "LoadLatencyModel",
+    "latency_factor",
+    "LINES_PER_PROCESSOR", "PackagingChoice", "choose_packaging",
+    "perimeter_pad_capacity", "signal_pads",
+    "DATA_CACHE_BLOCK", "SCC_BANK_BLOCK", "SramBlock", "access_time_fo4",
+    "cache_area_mm2", "max_direct_mapped_bytes",
+    "ALPHA_21064", "BANK_ARBITRATION_FO4", "CYCLE_TIME_FO4",
+    "PAPER_PROCESS", "ProcessNode", "ScaledProcessor",
+]

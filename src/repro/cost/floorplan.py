@@ -1,0 +1,147 @@
+"""Chip floorplans for the four cluster implementations (Sections 4.2-4.5).
+
+One floorplan per cluster design the paper evaluates:
+
+===============================  =======  ==========  =========  ========
+design                           SCC      chip area   vs 1-proc  load lat
+===============================  =======  ==========  =========  ========
+one processor per cluster        64 KB*   204 mm^2    --         2 cycles
+two processors per cluster       32 KB    279 mm^2    +37%       3 cycles
+four processors (2-chip MCM)     64 KB    297 mm^2    +46%       4 cycles
+eight processors (4-chip MCM)    128 KB   306 mm^2    +50%       4 cycles
+===============================  =======  ==========  =========  ========
+
+(*) the uniprocessor's cache is a private data cache, not a shared SCC.
+
+Each :class:`ClusterImplementation` carries the paper's quoted totals
+(authoritative -- they come from drawn floorplans) alongside a component
+breakdown built from the SRAM, ICN and scaled-processor models; the
+difference is the routing / pad-ring / dead-space overhead, which the
+tests assert is non-negative and sane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .icn import crossbar_area_mm2
+from .pins import choose_packaging, signal_pads
+from .sram import DATA_CACHE_BLOCK, SCC_BANK_BLOCK, cache_area_mm2
+from .technology import PAPER_PROCESS, ScaledProcessor
+
+__all__ = ["ClusterImplementation", "CLUSTER_IMPLEMENTATIONS",
+           "implementation_for"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class ClusterImplementation:
+    """One of the paper's four cluster designs."""
+
+    name: str
+    processors: int
+    scc_bytes: int
+    """Data cache capacity per cluster (private cache for 1 processor)."""
+
+    chips: int
+    """Chips per cluster (MCM designs use multiple two-processor-derived
+    chips)."""
+
+    chip_area_mm2: float
+    """Paper-quoted total chip area (per chip)."""
+
+    load_latency: int
+    """Pipeline load latency in cycles (Section 4: 2 for the private
+    cache, 3 with on-chip ICN arbitration, 4 across MCM chip crossings)."""
+
+    ports_per_icn: int
+    banks: int
+    signal_pads_quoted: int
+    """Paper-quoted signal pad count per chip (0 where unstated)."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster_area_mm2(self) -> float:
+        """Silicon area of the whole cluster (all chips)."""
+        return self.chip_area_mm2 * self.chips
+
+    @property
+    def area_ratio_vs_uniprocessor(self) -> float:
+        """Chip area relative to the one-processor chip (the paper's
+        +37% / +46% / +50% figures)."""
+        return self.chip_area_mm2 / CLUSTER_IMPLEMENTATIONS[1].chip_area_mm2
+
+    def component_areas_mm2(self) -> Dict[str, float]:
+        """Breakdown from the parametric models (per chip)."""
+        processor = ScaledProcessor.in_process(PAPER_PROCESS)
+        processors_on_chip = min(self.processors, 2)
+        areas: Dict[str, float] = {
+            "cores": processors_on_chip * processor.core_area_mm2,
+            "icaches": processors_on_chip * processor.icache_area_mm2,
+        }
+        if self.processors == 1:
+            areas["data cache"] = cache_area_mm2(self.scc_bytes,
+                                                 DATA_CACHE_BLOCK)
+        else:
+            scc_bytes_per_chip = self.scc_bytes // self.chips
+            areas["scc banks"] = cache_area_mm2(scc_bytes_per_chip,
+                                                SCC_BANK_BLOCK)
+            areas["icn"] = crossbar_area_mm2(self.ports_per_icn, self.banks)
+        return areas
+
+    @property
+    def overhead_mm2(self) -> float:
+        """Quoted total minus modelled components: routing, pad ring and
+        dead space of the drawn floorplan."""
+        return self.chip_area_mm2 - sum(self.component_areas_mm2().values())
+
+    @property
+    def fits_die(self) -> bool:
+        """Whether the chip fits the economical die (Section 4.1)."""
+        return self.chip_area_mm2 <= PAPER_PROCESS.max_die_area_mm2 + 6.0
+
+    def packaging(self):
+        """Pad-frame vs C4 decision for this chip's pad count."""
+        pads = self.signal_pads_quoted or signal_pads(
+            (self.processors - 2) if self.processors > 2 else 0)
+        return choose_packaging(pads)
+
+
+CLUSTER_IMPLEMENTATIONS: Dict[int, ClusterImplementation] = {
+    1: ClusterImplementation(
+        name="one processor, 64 KB private cache",
+        processors=1, scc_bytes=64 * KB, chips=1,
+        chip_area_mm2=204.0, load_latency=2,
+        ports_per_icn=0, banks=0, signal_pads_quoted=0),
+    2: ClusterImplementation(
+        name="two processors, 32 KB SCC",
+        processors=2, scc_bytes=32 * KB, chips=1,
+        chip_area_mm2=279.0, load_latency=3,
+        ports_per_icn=3, banks=8, signal_pads_quoted=0),
+    4: ClusterImplementation(
+        name="four processors, 64 KB SCC (2-chip MCM)",
+        processors=4, scc_bytes=64 * KB, chips=2,
+        chip_area_mm2=297.0, load_latency=4,
+        ports_per_icn=5, banks=8, signal_pads_quoted=600),
+    8: ClusterImplementation(
+        name="eight processors, 128 KB SCC (4-chip MCM)",
+        processors=8, scc_bytes=128 * KB, chips=4,
+        chip_area_mm2=306.0, load_latency=4,
+        ports_per_icn=9, banks=8, signal_pads_quoted=1100),
+}
+"""Section 4's four designs, keyed by processors per cluster."""
+
+
+def implementation_for(processors: int) -> ClusterImplementation:
+    """The paper's implementation for a cluster of ``processors``."""
+    try:
+        return CLUSTER_IMPLEMENTATIONS[processors]
+    except KeyError:
+        raise ValueError(
+            f"the paper implements 1, 2, 4 or 8 processors per cluster, "
+            f"not {processors}") from None

@@ -1,0 +1,40 @@
+"""Crossbar processor-cache interconnection network area (Section 4.3).
+
+The ports of the SCC are implemented by a crossbar between processors
+(plus the cache-controller refill port) and the interleaved banks.  Its
+area is wire-dominated: each port contributes a bundle of address, data
+and control wires running across every bank column.  The paper quotes
+12.1 mm^2 for the two-processor chip's three-port, eight-bank crossbar
+at a 1.6 um wire pitch, and roughly 12 mm^2 (versus 10 mm^2) for the
+five-port variant of the four-processor building block.
+
+The model here is the bundle model: ``area = banks x bank_span x ports x
+wires_per_port x pitch``, calibrated so the (3 ports, 8 banks) point
+reproduces the paper's 12.1 mm^2.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WIRES_PER_PORT", "DEFAULT_PITCH_UM", "crossbar_area_mm2"]
+
+WIRES_PER_PORT = 160
+"""Address + data + control wires per processor port (Section 4.4)."""
+
+DEFAULT_PITCH_UM = 1.6
+"""Wire pitch of the 0.4 um process's crossbar routing (Section 4.3)."""
+
+_BANK_SPAN_MM = 1.9694
+"""Horizontal span of one bank column crossed by the port bundles,
+calibrated so that 3 ports x 8 banks at 1.6 um pitch = 12.1 mm^2."""
+
+
+def crossbar_area_mm2(ports: int, banks: int,
+                      pitch_um: float = DEFAULT_PITCH_UM,
+                      wires_per_port: int = WIRES_PER_PORT) -> float:
+    """Area of a ports-by-banks crossbar ICN in mm^2."""
+    if ports < 1 or banks < 1:
+        raise ValueError("ports and banks must be positive")
+    if pitch_um <= 0:
+        raise ValueError("pitch must be positive")
+    bundle_height_mm = ports * wires_per_port * pitch_um * 1e-3
+    return banks * _BANK_SPAN_MM * bundle_height_mm

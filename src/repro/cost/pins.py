@@ -1,0 +1,66 @@
+"""Signal I/O pad counting and packaging feasibility (Sections 4.4-4.5).
+
+Multi-chip clusters need chip-to-chip wires: each processor that accesses
+a cache bank on another chip needs its 160 address/data/control lines
+brought off chip.  The four-processor building block ends up with about
+600 signal pads -- still placeable in a perimeter pad frame -- while the
+eight-processor block needs about 1100, which forces an area-array
+technology such as IBM's controlled-collapse chip connection (C4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LINES_PER_PROCESSOR", "signal_pads", "perimeter_pad_capacity",
+           "PackagingChoice", "choose_packaging"]
+
+LINES_PER_PROCESSOR = 160
+"""Address, data and control lines one remote processor needs
+(Section 4.4)."""
+
+_BASE_PADS = 280
+"""Pads for memory-bus, clock and system signals common to every chip,
+backed out of the paper's 600-pad four-processor chip (two remote
+processors: 600 - 2 x 160)."""
+
+_DEFAULT_PAD_PITCH_UM = 120.0
+"""Perimeter pad pitch achievable in the 1996-era packaging the paper
+assumes."""
+
+
+def signal_pads(remote_processors: int,
+                lines_per_processor: int = LINES_PER_PROCESSOR) -> int:
+    """Signal pads a cluster chip needs to talk to ``remote_processors``
+    processors on other chips of the same cluster."""
+    if remote_processors < 0:
+        raise ValueError("remote_processors must be non-negative")
+    return _BASE_PADS + remote_processors * lines_per_processor
+
+
+def perimeter_pad_capacity(die_side_mm: float,
+                           pad_pitch_um: float = _DEFAULT_PAD_PITCH_UM) -> int:
+    """Pads that fit in a single-row perimeter frame on a square die."""
+    if die_side_mm <= 0 or pad_pitch_um <= 0:
+        raise ValueError("dimensions must be positive")
+    return int(4 * die_side_mm * 1000.0 / pad_pitch_um)
+
+
+@dataclass(frozen=True)
+class PackagingChoice:
+    """Outcome of the pads-vs-perimeter feasibility check."""
+
+    pads: int
+    perimeter_capacity: int
+    needs_c4: bool
+    """True when pads exceed the perimeter frame and an area array
+    (C4-style) is required, as for the eight-processor block."""
+
+
+def choose_packaging(pads: int, die_side_mm: float = 18.0,
+                     pad_pitch_um: float = _DEFAULT_PAD_PITCH_UM
+                     ) -> PackagingChoice:
+    """Decide between a perimeter pad frame and C4 for a pad count."""
+    capacity = perimeter_pad_capacity(die_side_mm, pad_pitch_um)
+    return PackagingChoice(pads=pads, perimeter_capacity=capacity,
+                           needs_c4=pads > capacity)

@@ -1,0 +1,108 @@
+"""SRAM block area and cache access-time models (Sections 4.2-4.3).
+
+Two block designs appear in the paper's floorplans, both built on the
+same SRAM cell:
+
+* the **single-ported data-cache block**: 8 KB in 6.6 mm^2 at 0.4 um,
+  including cache tags and the drivers that return data to the
+  functional units; its 2.2 mm width includes the wiring channel that
+  connects the bottom row of blocks to the core (Section 4.2);
+* the **SCC bank block**: 8 mm^2 but only 4 KB, because each bank adds
+  an arbitration unit, a write buffer, the stronger drivers needed for
+  the long crossbar wires, and a second decoder so the block can be
+  accessed from the top or the bottom (Section 4.3).
+
+The access-time model answers the question that pins the uniprocessor
+floorplan: the largest direct-mapped cache accessible within the 30-FO4
+cycle is 64 KB.  We model direct-mapped access time as a logarithmic
+decode term anchored to that statement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import CYCLE_TIME_FO4
+
+__all__ = ["SramBlock", "DATA_CACHE_BLOCK", "SCC_BANK_BLOCK",
+           "access_time_fo4", "max_direct_mapped_bytes",
+           "cache_area_mm2"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SramBlock:
+    """One SRAM macro in the 0.4 um process."""
+
+    name: str
+    capacity_bytes: int
+    area_mm2: float
+    width_mm: float
+    ported: int
+    """Access ports per block (via the ICN for SCC banks)."""
+
+    @property
+    def mm2_per_kb(self) -> float:
+        """Area efficiency (mm^2 per KB stored)."""
+        return self.area_mm2 / (self.capacity_bytes / KB)
+
+
+DATA_CACHE_BLOCK = SramBlock(
+    name="single-ported data cache block",
+    capacity_bytes=8 * KB, area_mm2=6.6, width_mm=2.2, ported=1)
+
+SCC_BANK_BLOCK = SramBlock(
+    name="SCC bank block (arbitration + write buffer + dual decode)",
+    capacity_bytes=4 * KB, area_mm2=8.0, width_mm=2.2, ported=1)
+
+
+def cache_area_mm2(capacity_bytes: int, block: SramBlock) -> float:
+    """Area of a cache built from whole ``block`` macros."""
+    if capacity_bytes < 1:
+        raise ValueError("capacity must be positive")
+    blocks = -(-capacity_bytes // block.capacity_bytes)  # ceil division
+    return blocks * block.area_mm2
+
+
+# ----------------------------------------------------------------------
+# Direct-mapped access time
+# ----------------------------------------------------------------------
+
+_DECODE_SLOPE_FO4 = 3.0
+"""Extra FO4 per doubling of capacity (decode + longer word/bit lines)."""
+
+_BASE_FO4 = CYCLE_TIME_FO4 - _DECODE_SLOPE_FO4 * 6.0
+"""Anchor: a 64 KB (2^6 KB) direct-mapped cache takes exactly the 30-FO4
+cycle (Section 4.2), so the size-independent overhead (address drive,
+sense, data return) is 30 - 3*log2(64)."""
+
+
+_ASSOC_SLOPE_FO4 = 2.5
+"""Extra FO4 per doubling of associativity (way muxing and the tag
+compare moving onto the critical path) -- why the paper's designs stay
+direct-mapped within the 30-FO4 cycle."""
+
+
+def access_time_fo4(capacity_bytes: int, associativity: int = 1) -> float:
+    """Access time of a cache, in FO4 inverter delays.
+
+    Includes the functional units driving the address lines and the SRAM
+    driving data back (the paper's definition of the 64 KB limit).
+    Associativity beyond direct-mapped adds way-select delay.
+    """
+    if capacity_bytes < KB:
+        raise ValueError("model is calibrated for caches >= 1 KB")
+    if associativity < 1 or associativity & (associativity - 1):
+        raise ValueError("associativity must be a power of two >= 1")
+    return (_BASE_FO4 + _DECODE_SLOPE_FO4 * math.log2(capacity_bytes / KB)
+            + _ASSOC_SLOPE_FO4 * math.log2(associativity))
+
+
+def max_direct_mapped_bytes(budget_fo4: float = CYCLE_TIME_FO4) -> int:
+    """Largest power-of-two direct-mapped cache within ``budget_fo4``."""
+    if budget_fo4 < _BASE_FO4 + 0.0:
+        raise ValueError("budget below the fixed access overhead")
+    doublings = int((budget_fo4 - _BASE_FO4) / _DECODE_SLOPE_FO4)
+    return KB << doublings if doublings >= 0 else KB

@@ -1,0 +1,120 @@
+"""Semiconductor technology assumptions (Section 4.1).
+
+The paper targets a 0.4 um CMOS process with three interconnect layers
+(available "by the end of 1996"), in which an 18 mm x 18 mm die
+(300 mm^2) is economical.  Processor area is estimated by linearly
+scaling the DEC Alpha 21064 (implemented at 0.68 um) to 0.4 um, and all
+timing is expressed in FO4 inverter delays: the 21064's aggressive
+circuit design achieves a 30-FO4 processor cycle, which the paper adopts
+for every implementation it evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessNode", "PAPER_PROCESS", "ALPHA_21064", "ScaledProcessor",
+           "CYCLE_TIME_FO4", "BANK_ARBITRATION_FO4"]
+
+CYCLE_TIME_FO4 = 30
+"""Processor cycle time in FO4 inverter delays (Section 4.1)."""
+
+BANK_ARBITRATION_FO4 = 17
+"""FO4 delays to arbitrate for an SCC bank across the crossbar ICN
+(Section 4.3); it does not fit in the cycle, hence the extra pipeline
+stage and three-cycle loads of the shared-cache chips."""
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """A CMOS process generation."""
+
+    gate_length_um: float
+    metal_layers: int
+    max_die_side_mm: float
+
+    @property
+    def max_die_area_mm2(self) -> float:
+        """Largest economical die for this process."""
+        return self.max_die_side_mm ** 2
+
+    def area_scale_from(self, other: "ProcessNode") -> float:
+        """Factor by which areas shrink moving from ``other`` to here.
+
+        Linear shrink in both dimensions -- the paper's "good first
+        approximation" (Section 4.1).
+        """
+        return (self.gate_length_um / other.gate_length_um) ** 2
+
+
+PAPER_PROCESS = ProcessNode(gate_length_um=0.4, metal_layers=3,
+                            max_die_side_mm=18.0)
+"""The 1996-era process every floorplan in Section 4 assumes.  Note the
+paper quotes 300 mm^2 as the economical die; 18 mm on a side is its
+stated die dimension (the extra 24 mm^2 is pad-ring territory)."""
+
+ALPHA_PROCESS = ProcessNode(gate_length_um=0.68, metal_layers=3,
+                            max_die_side_mm=17.0)
+"""The process of the reference DEC Alpha 21064 implementation."""
+
+
+@dataclass(frozen=True)
+class ReferenceProcessor:
+    """Die-level facts about the reference microprocessor."""
+
+    name: str
+    process: ProcessNode
+    core_area_mm2: float
+    """Integer unit + floating point unit area."""
+
+    icache_area_mm2: float
+    """Instruction cache area at its native size."""
+
+    icache_kb: int
+    cycle_fo4: int
+
+
+ALPHA_21064 = ReferenceProcessor(
+    name="DEC Alpha 21064",
+    process=ALPHA_PROCESS,
+    core_area_mm2=103.0,
+    icache_area_mm2=38.0,
+    icache_kb=8,
+    cycle_fo4=30,
+)
+"""Component areas of the 21064 at 0.68 um.  The die is 16.8 x 13.9 mm
+(234 mm^2); roughly 103 mm^2 is the integer and floating-point core and
+38 mm^2 the 8 KB instruction cache, the remainder being the data cache,
+pads and routing.  Only the IU, FPU and instruction cache are scaled
+into the paper's floorplans (Section 4.1)."""
+
+
+@dataclass(frozen=True)
+class ScaledProcessor:
+    """The 21064 core scaled into the paper's 0.4 um process."""
+
+    core_area_mm2: float
+    icache_area_mm2: float
+    icache_kb: int
+
+    @classmethod
+    def in_process(cls, target: ProcessNode = PAPER_PROCESS,
+                   reference: ReferenceProcessor = ALPHA_21064,
+                   icache_kb: int = 16) -> "ScaledProcessor":
+        """Scale the reference processor linearly into ``target``.
+
+        The floorplans use a 16 KB instruction cache (twice the 21064's),
+        so the icache area is scaled by capacity as well as process.
+        """
+        shrink = target.area_scale_from(reference.process)
+        return cls(
+            core_area_mm2=reference.core_area_mm2 * shrink,
+            icache_area_mm2=(reference.icache_area_mm2 * shrink
+                             * icache_kb / reference.icache_kb),
+            icache_kb=icache_kb,
+        )
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Core plus instruction cache."""
+        return self.core_area_mm2 + self.icache_area_mm2

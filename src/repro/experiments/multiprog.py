@@ -1,0 +1,98 @@
+"""Section 3.2 experiment pipelines: Figures 5 and 6.
+
+Figure 5 plots the multiprogramming workload's normalized execution time
+against SCC size for each cluster width; Figure 6 re-normalizes each
+point to the one-processor case at the same SCC size, isolating the
+degradation caused by interference in the shared cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.config import KB
+from .report import format_size, render_ascii_chart, render_table
+from .runner import PAPER_LADDER, PROCS_SWEPT, Sweep
+
+__all__ = ["figure5_curves", "figure6_speedups", "degradation_factor",
+           "smallest_to_largest_improvement", "render_figure5",
+           "render_figure6"]
+
+
+def figure5_curves(sweep: Sweep) -> Dict[int, List[Tuple[int, float]]]:
+    """Normalized execution time (1.0 = 8 procs @ 512 KB) per curve."""
+    base = sweep[(8, 512 * KB)].execution_time
+    curves: Dict[int, List[Tuple[int, float]]] = {}
+    for procs in PROCS_SWEPT:
+        curves[procs] = [
+            (size, sweep[(procs, size)].execution_time / base)
+            for size in PAPER_LADDER if (procs, size) in sweep
+        ]
+    return curves
+
+
+def figure6_speedups(sweep: Sweep) -> Dict[int, Tuple[float, ...]]:
+    """Self-relative speedups per SCC size (Figure 6's series)."""
+    table: Dict[int, Tuple[float, ...]] = {}
+    for size in PAPER_LADDER:
+        if (1, size) not in sweep:
+            continue
+        base = sweep[(1, size)].execution_time
+        table[size] = tuple(
+            base / sweep[(procs, size)].execution_time
+            for procs in PROCS_SWEPT if (procs, size) in sweep)
+    return table
+
+
+def degradation_factor(sweep: Sweep, size: int, procs: int = 8) -> float:
+    """Ideal-to-actual ratio at one configuration: ``procs`` divided by
+    the self-relative speedup.  1.0 means interference-free."""
+    speedup = (sweep[(1, size)].execution_time
+               / sweep[(procs, size)].execution_time)
+    return procs / speedup
+
+
+def smallest_to_largest_improvement(sweep: Sweep, procs: int = 8) -> float:
+    """Execution-time improvement of ``procs``/cluster going from the
+    smallest (4 KB) to the largest (512 KB) SCC -- the paper quotes a
+    factor of 4.1 for eight processors."""
+    return (sweep[(procs, 4 * KB)].execution_time
+            / sweep[(procs, 512 * KB)].execution_time)
+
+
+def render_figure5(sweep: Sweep) -> str:
+    """Figure 5: normalized execution time vs SCC size."""
+    curves = figure5_curves(sweep)
+    rows = []
+    for size in PAPER_LADDER:
+        row: List[object] = [format_size(size)]
+        for procs in PROCS_SWEPT:
+            value = dict(curves[procs]).get(size)
+            row.append(f"{value:.2f}" if value is not None else "-")
+        rows.append(row)
+    headers = ["SCC size"] + [f"{p} proc/cl" for p in PROCS_SWEPT]
+    table = render_table(
+        "multiprogramming: normalized execution time "
+        "(1.0 = 8 procs/cluster @ 512 KB)", headers, rows)
+    positions = {size: i for i, size in enumerate(PAPER_LADDER)}
+    chart = render_ascii_chart(
+        "(log-y; markers = procs/cluster)",
+        {str(procs): [(positions[size], value)
+                      for size, value in curves[procs]]
+         for procs in PROCS_SWEPT},
+        [format_size(size).replace(" ", "") for size in PAPER_LADDER])
+    return table + "\n\n" + chart
+
+
+def render_figure6(sweep: Sweep) -> str:
+    """Figure 6: self-relative speedup vs processors per cluster."""
+    table = figure6_speedups(sweep)
+    rows = []
+    for size, values in table.items():
+        row: List[object] = [format_size(size)]
+        row.extend(f"{value:.2f}" for value in values)
+        rows.append(row)
+    headers = ["SCC size"] + [f"{p} proc/cl" for p in PROCS_SWEPT]
+    return render_table(
+        "multiprogramming: self-relative speedups (Figure 6)",
+        headers, rows)

@@ -1,0 +1,264 @@
+"""Sweep driver and result cache for the reproduction experiments.
+
+Every figure and table in the paper is a view over one of two sweeps:
+
+* the **parallel sweep** (Section 3.1): a benchmark on four clusters,
+  processors per cluster in {1, 2, 4, 8} x the SCC ladder 4 KB..512 KB;
+* the **multiprogramming sweep** (Section 3.2): the SPEC92 mix on a
+  single cluster over the same grid.
+
+Simulations are minutes-scale, so results are cached on disk keyed by
+the experiment's full parameterisation; delete the cache directory (or
+bump :data:`CACHE_VERSION`) after changing the simulator.
+
+Two profiles control workload sizes: ``quick`` for smoke-testing the
+pipelines, ``paper`` (the default for benchmarks) for the properly
+scaled runs recorded in EXPERIMENTS.md.  Select with the
+``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.config import KB, SystemConfig
+from ..simulation import run_simulation
+from ..workloads.barnes_hut import BarnesHut
+from ..workloads.cholesky import Cholesky
+from ..workloads.mp3d import MP3D
+from ..workloads.multiprog import MultiprogrammingWorkload
+
+__all__ = ["RunStats", "ExperimentProfile", "PROFILES", "active_profile",
+           "ResultCache", "default_cache", "run_point", "parallel_sweep",
+           "multiprogramming_sweep", "PAPER_LADDER", "PROCS_SWEPT",
+           "CACHE_VERSION"]
+
+CACHE_VERSION = 3
+"""Bump to invalidate cached results after simulator changes."""
+
+PAPER_LADDER: Tuple[int, ...] = tuple(
+    kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
+"""The paper's SCC sweep, in paper bytes."""
+
+PROCS_SWEPT: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """The per-configuration quantities the paper's tables need."""
+
+    execution_time: int
+    read_miss_rate: float
+    miss_rate: float
+    invalidations: int
+    reads: int
+    writes: int
+    events: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "RunStats":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Workload sizing for one reproduction quality level."""
+
+    name: str
+    ladder_scale: int
+    barnes_bodies: int
+    barnes_steps: int
+    mp3d_particles: int
+    mp3d_steps: int
+    cholesky_n: int
+    multiprog_instructions: int
+    multiprog_quantum: int
+
+    def scaled_ladder(self) -> Tuple[int, ...]:
+        """Simulated SCC sizes standing in for the paper ladder."""
+        return tuple(size // self.ladder_scale for size in PAPER_LADDER)
+
+    # -- workload factories (fresh application object per call) ---------
+
+    def barnes_hut(self) -> BarnesHut:
+        return BarnesHut(n_bodies=self.barnes_bodies,
+                         steps=self.barnes_steps)
+
+    def mp3d(self) -> MP3D:
+        return MP3D(n_particles=self.mp3d_particles, steps=self.mp3d_steps)
+
+    def cholesky(self) -> Cholesky:
+        return Cholesky(n=self.cholesky_n)
+
+    def multiprogramming(self) -> MultiprogrammingWorkload:
+        return MultiprogrammingWorkload(
+            instructions_per_app=self.multiprog_instructions,
+            quantum_instructions=self.multiprog_quantum,
+            scale=self.ladder_scale)
+
+    def workload(self, benchmark: str):
+        """Factory dispatch by benchmark name."""
+        factories: Dict[str, Callable] = {
+            "barnes-hut": self.barnes_hut,
+            "mp3d": self.mp3d,
+            "cholesky": self.cholesky,
+            "multiprogramming": self.multiprogramming,
+        }
+        try:
+            return factories[benchmark]()
+        except KeyError:
+            raise ValueError(f"unknown benchmark {benchmark!r}") from None
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick", ladder_scale=8,
+        barnes_bodies=192, barnes_steps=2,
+        mp3d_particles=600, mp3d_steps=3,
+        cholesky_n=288,
+        multiprog_instructions=60_000, multiprog_quantum=20_000),
+    "paper": ExperimentProfile(
+        name="paper", ladder_scale=8,
+        barnes_bodies=512, barnes_steps=2,
+        mp3d_particles=900, mp3d_steps=5,
+        cholesky_n=416,
+        multiprog_instructions=150_000, multiprog_quantum=50_000),
+}
+
+
+def active_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default: ``paper``)."""
+    name = os.environ.get("REPRO_PROFILE", "paper")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"REPRO_PROFILE={name!r}; "
+                         f"known profiles: {sorted(PROFILES)}") from None
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+class ResultCache:
+    """Tiny JSON-file-per-result cache."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(
+            f"v{CACHE_VERSION}:{key}".encode()).hexdigest()[:24]
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: str) -> Optional[RunStats]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return RunStats.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError):
+            return None
+
+    def put(self, key: str, stats: RunStats) -> None:
+        self._path(key).write_text(json.dumps(stats.as_dict()))
+
+
+def default_cache() -> ResultCache:
+    """Cache under the working tree (override with ``REPRO_CACHE_DIR``)."""
+    directory = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return ResultCache(Path(directory))
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+
+def _stats_key(benchmark: str, profile: ExperimentProfile,
+               config: SystemConfig) -> str:
+    return (f"{benchmark}|{profile}|clusters={config.clusters}"
+            f"|procs={config.processors_per_cluster}"
+            f"|scc={config.scc_size}|icache={config.icache_size}"
+            f"|model_icache={config.model_icache}")
+
+
+def run_point(benchmark: str, profile: ExperimentProfile,
+              config: SystemConfig,
+              cache: Optional[ResultCache] = None) -> RunStats:
+    """Simulate one configuration (or fetch it from the cache)."""
+    key = _stats_key(benchmark, profile, config)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    result = run_simulation(config, profile.workload(benchmark))
+    total = result.stats.total_scc
+    stats = RunStats(
+        execution_time=result.stats.execution_time,
+        read_miss_rate=result.stats.read_miss_rate,
+        miss_rate=total.miss_rate,
+        invalidations=result.stats.total_invalidations,
+        reads=total.reads,
+        writes=total.writes,
+        events=result.events_processed,
+    )
+    if cache is not None:
+        cache.put(key, stats)
+    return stats
+
+
+Sweep = Dict[Tuple[int, int], RunStats]
+"""(processors per cluster, paper SCC bytes) -> stats."""
+
+
+def parallel_sweep(benchmark: str,
+                   profile: Optional[ExperimentProfile] = None,
+                   cache: Optional[ResultCache] = None,
+                   ladder: Optional[Tuple[int, ...]] = None,
+                   procs: Tuple[int, ...] = PROCS_SWEPT) -> Sweep:
+    """The Section 3.1 grid for one parallel benchmark.
+
+    Keys use *paper* SCC bytes; the simulated size is the paper size
+    divided by the profile's ladder scale.
+    """
+    profile = profile or active_profile()
+    cache = cache if cache is not None else default_cache()
+    ladder = ladder or PAPER_LADDER
+    sweep: Sweep = {}
+    for paper_bytes in ladder:
+        for procs_per_cluster in procs:
+            config = SystemConfig.paper_parallel(
+                procs_per_cluster, paper_bytes // profile.ladder_scale)
+            sweep[(procs_per_cluster, paper_bytes)] = run_point(
+                benchmark, profile, config, cache)
+    return sweep
+
+
+def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
+                           cache: Optional[ResultCache] = None,
+                           ladder: Optional[Tuple[int, ...]] = None,
+                           procs: Tuple[int, ...] = PROCS_SWEPT) -> Sweep:
+    """The Section 3.2 grid (single cluster, icache modelled & scaled)."""
+    profile = profile or active_profile()
+    cache = cache if cache is not None else default_cache()
+    ladder = ladder or PAPER_LADDER
+    icache = max(16 * KB // profile.ladder_scale, 512)
+    sweep: Sweep = {}
+    for paper_bytes in ladder:
+        for procs_per_cluster in procs:
+            config = SystemConfig.paper_multiprogramming(
+                procs_per_cluster,
+                paper_bytes // profile.ladder_scale).with_updates(
+                    icache_size=icache)
+            sweep[(procs_per_cluster, paper_bytes)] = run_point(
+                "multiprogramming", profile, config, cache)
+    return sweep

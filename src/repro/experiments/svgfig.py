@@ -1,0 +1,129 @@
+"""SVG line charts for the paper's figures (dependency-free).
+
+The ASCII charts embedded in the text reports are handy in a terminal;
+this module renders the same series as proper SVG line charts, which the
+figure benches save alongside their reports under ``results/``.  The
+generator is deliberately small and hand-rolled: a titled plot area,
+log- or linear-scaled y axis with gridlines, categorical x positions,
+one polyline-with-markers per series, and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["render_svg_chart", "save_svg_chart"]
+
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+            "#ff7f0e", "#8c564b")
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 140
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 48
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_svg_chart(title: str,
+                     series: Dict[str, List[Tuple[int, float]]],
+                     x_labels: Sequence[str],
+                     y_label: str = "",
+                     width: int = 640, height: int = 400,
+                     log_y: bool = True) -> str:
+    """Render series as an SVG document string.
+
+    ``series`` maps a legend label to points ``(x_index, value)`` over
+    the categorical ``x_labels`` positions.
+    """
+    if not series or not any(series.values()):
+        raise ValueError("need at least one non-empty series")
+    values = [value for points in series.values() for _, value in points]
+    if log_y and min(values) <= 0:
+        raise ValueError("log-scaled chart needs positive values")
+    scale = math.log10 if log_y else (lambda v: float(v))
+    low = min(scale(v) for v in values)
+    high = max(scale(v) for v in values)
+    if high == low:
+        high = low + 1.0
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    columns = len(x_labels)
+
+    def x_pos(index: int) -> float:
+        if not 0 <= index < columns:
+            raise ValueError(f"x index {index} outside the labels")
+        if columns == 1:
+            return _MARGIN_LEFT + plot_w / 2
+        return _MARGIN_LEFT + plot_w * index / (columns - 1)
+
+    def y_pos(value: float) -> float:
+        return (_MARGIN_TOP
+                + plot_h * (high - scale(value)) / (high - low))
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">')
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    parts.append(f'<text x="{width / 2}" y="20" text-anchor="middle" '
+                 f'font-size="14">{_escape(title)}</text>')
+
+    # Gridlines and y tick labels (4 divisions).
+    for tick in range(5):
+        fraction = tick / 4
+        y = _MARGIN_TOP + plot_h * fraction
+        level = high - (high - low) * fraction
+        value = 10 ** level if log_y else level
+        parts.append(f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+                     f'x2="{_MARGIN_LEFT + plot_w}" y2="{y:.1f}" '
+                     f'stroke="#dddddd"/>')
+        parts.append(f'<text x="{_MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{value:.2f}</text>')
+    if y_label:
+        parts.append(f'<text x="14" y="{_MARGIN_TOP + plot_h / 2:.1f}" '
+                     f'text-anchor="middle" transform="rotate(-90 14 '
+                     f'{_MARGIN_TOP + plot_h / 2:.1f})">'
+                     f'{_escape(y_label)}</text>')
+
+    # X axis labels.
+    for index, label in enumerate(x_labels):
+        parts.append(f'<text x="{x_pos(index):.1f}" '
+                     f'y="{height - _MARGIN_BOTTOM + 20}" '
+                     f'text-anchor="middle">{_escape(label)}</text>')
+
+    # Series.
+    for rank, (label, points) in enumerate(series.items()):
+        color = _PALETTE[rank % len(_PALETTE)]
+        coords = " ".join(f"{x_pos(x):.1f},{y_pos(v):.1f}"
+                          for x, v in points)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        for x, v in points:
+            parts.append(f'<circle cx="{x_pos(x):.1f}" '
+                         f'cy="{y_pos(v):.1f}" r="3" fill="{color}"/>')
+        legend_y = _MARGIN_TOP + 18 * rank
+        legend_x = width - _MARGIN_RIGHT + 16
+        parts.append(f'<line x1="{legend_x}" y1="{legend_y}" '
+                     f'x2="{legend_x + 22}" y2="{legend_y}" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{legend_x + 28}" y="{legend_y + 4}">'
+                     f'{_escape(label)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg_chart(path: Union[str, Path], title: str,
+                   series: Dict[str, List[Tuple[int, float]]],
+                   x_labels: Sequence[str], **kwargs) -> Path:
+    """Render and write a chart; returns the written path."""
+    path = Path(path)
+    path.write_text(render_svg_chart(title, series, x_labels, **kwargs))
+    return path

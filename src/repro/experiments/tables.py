@@ -1,0 +1,125 @@
+"""Section 5 table pipelines: Tables 5, 6 and 7, plus Section 4's costs.
+
+Tables 6 and 7 combine the Section 3 performance surfaces with the
+Table 5 load-latency corrections and the Section 4 area model, exactly
+as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.config import KB
+from ..cost.costperf import (ComparisonTable, cost_performance_gain,
+                             mcm_table, single_chip_table)
+from ..cost.floorplan import CLUSTER_IMPLEMENTATIONS
+from ..cost.latency import PAPER_LATENCY_MODELS, PAPER_TABLE5
+from .report import render_table
+from .runner import Sweep
+
+__all__ = ["PAPER_TABLE6", "PAPER_TABLE7", "render_table5",
+           "render_table6", "render_table7", "render_section4_costs",
+           "surfaces_from_sweeps"]
+
+#: Table 6 -- single-chip comparison (1 proc/64 KB vs 2 procs/32 KB).
+PAPER_TABLE6: Dict[str, Tuple[float, float]] = {
+    "barnes-hut": (13.1, 5.8),
+    "mp3d": (9.4, 5.5),
+    "cholesky": (3.9, 3.4),
+    "multiprogramming": (7.7, 5.4),
+}
+
+#: Table 7 -- MCM comparison (4 procs/64 KB vs 8 procs/128 KB).
+PAPER_TABLE7: Dict[str, Tuple[float, float]] = {
+    "barnes-hut": (2.8, 1.4),
+    "mp3d": (2.9, 1.5),
+    "cholesky": (1.6, 1.3),
+    "multiprogramming": (2.9, 1.5),
+}
+
+
+def surfaces_from_sweeps(
+        sweeps: Mapping[str, Sweep]) -> Dict[str, Dict[Tuple[int, int], float]]:
+    """Convert sweeps (RunStats-valued) to the execution-time surfaces
+    :mod:`repro.cost.costperf` consumes."""
+    return {
+        benchmark: {key: stats.execution_time
+                    for key, stats in sweep.items()}
+        for benchmark, sweep in sweeps.items()
+    }
+
+
+def render_table5() -> str:
+    """Table 5: relative uniprocessor times for 2/3/4-cycle loads."""
+    rows: List[List[object]] = []
+    for name, model in PAPER_LATENCY_MODELS.items():
+        ours = [model.relative_time(latency) for latency in (2, 3, 4)]
+        paper = PAPER_TABLE5[name]
+        rows.append([name] + [f"{value:.2f}" for value in ours]
+                    + [" / ".join(f"{v:.2f}" for v in paper)])
+    return render_table(
+        "Table 5: relative uniprocessor execution time vs load latency",
+        ["benchmark", "2 cycles", "3 cycles", "4 cycles",
+         "paper (2/3/4)"], rows)
+
+
+def _render_comparison(title: str, table: ComparisonTable,
+                       paper: Dict[str, Tuple[float, float]],
+                       labels: Tuple[str, str]) -> str:
+    rows: List[List[object]] = []
+    for benchmark in table.benchmarks:
+        cells = table.row(benchmark)
+        row: List[object] = [benchmark]
+        row.extend(f"{cell.normalized_time:.2f}" for cell in cells)
+        if benchmark in paper:
+            row.append(" / ".join(f"{v:.1f}" for v in paper[benchmark]))
+        else:
+            row.append("-")
+        rows.append(row)
+    return render_table(title, ["benchmark", labels[0], labels[1],
+                                "paper"], rows)
+
+
+def render_table6(sweeps: Mapping[str, Sweep]) -> str:
+    """Table 6 with our measured surface, plus the summary arithmetic."""
+    table = single_chip_table(surfaces_from_sweeps(sweeps))
+    body = _render_comparison(
+        "Table 6: single-chip cluster implementations "
+        "(normalized execution time; lower is better)",
+        table, PAPER_TABLE6, ("1 proc/64 KB", "2 procs/32 KB"))
+    speedup = table.mean_speedup(slower=(1, 64 * KB), faster=(2, 32 * KB))
+    gain = cost_performance_gain(speedup)
+    summary = (f"two-processor cluster is {100 * (speedup - 1):.0f}% faster "
+               f"on average (paper: 70%); with a "
+               f"{CLUSTER_IMPLEMENTATIONS[2].chip_area_mm2 / CLUSTER_IMPLEMENTATIONS[1].chip_area_mm2 - 1:.0%} "
+               f"larger chip, cost/performance improves "
+               f"{100 * gain:.0f}% (paper: 24%)")
+    return body + "\n" + summary
+
+
+def render_table7(sweeps: Mapping[str, Sweep]) -> str:
+    """Table 7 with our measured surface."""
+    table = mcm_table(surfaces_from_sweeps(sweeps))
+    return _render_comparison(
+        "Table 7: MCM cluster implementations "
+        "(normalized execution time; lower is better)",
+        table, PAPER_TABLE7, ("4 procs/64 KB", "8 procs/128 KB"))
+
+
+def render_section4_costs() -> str:
+    """Section 4's implementation summary: areas, latencies, packaging."""
+    rows: List[List[object]] = []
+    for procs, impl in sorted(CLUSTER_IMPLEMENTATIONS.items()):
+        packaging = impl.packaging()
+        rows.append([
+            impl.name,
+            f"{impl.chip_area_mm2:.0f} mm^2",
+            f"{impl.area_ratio_vs_uniprocessor:.2f}x",
+            f"{impl.load_latency} cycles",
+            f"{impl.chips}",
+            "C4" if packaging.needs_c4 else "perimeter",
+        ])
+    return render_table(
+        "Section 4: cluster implementations",
+        ["design", "chip area", "vs 1-proc", "load latency",
+         "chips/cluster", "packaging"], rows)

@@ -1,0 +1,29 @@
+"""Tango-Lite-equivalent tracing substrate.
+
+Event vocabulary (:mod:`~repro.trace.events`), the timing-feedback
+interleaver (:mod:`~repro.trace.interleave`), stream utilities
+(:mod:`~repro.trace.stream`) and a binary trace-file format
+(:mod:`~repro.trace.tracefile`).
+"""
+
+from .analysis import (data_lines, miss_ratio_curve, stack_distances,
+                       working_set_lines)
+from .events import (Barrier, Compute, Ifetch, LockAcquire, LockRelease,
+                     Read, TaskDequeue, TaskEnqueue, TraceEvent, Write,
+                     is_memory_event)
+from .interleave import DeadlockError, SyncProtocolError, TimingInterleaver
+from .racecheck import Race, RaceDetector
+from .stream import (coalesce_compute, event_histogram, materialize, replay,
+                     reference_count)
+from .tracefile import TraceFormatError, load_trace, save_trace
+
+__all__ = [
+    "Barrier", "Compute", "Ifetch", "LockAcquire", "LockRelease", "Read",
+    "TaskDequeue", "TaskEnqueue", "TraceEvent", "Write", "is_memory_event",
+    "DeadlockError", "SyncProtocolError", "TimingInterleaver",
+    "Race", "RaceDetector",
+    "coalesce_compute", "event_histogram", "materialize", "replay",
+    "reference_count", "TraceFormatError", "load_trace", "save_trace",
+    "data_lines", "miss_ratio_curve", "stack_distances",
+    "working_set_lines",
+]

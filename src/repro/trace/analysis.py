@@ -1,0 +1,144 @@
+"""Trace analysis: LRU stack distances, miss-ratio curves, working sets.
+
+The paper reasons about its workloads through their working sets (how
+much cache a benchmark "wants" -- the knees in Figures 2-5).  This
+module computes those properties directly from any event stream, which
+is how the reproduction's synthetic workloads were validated against
+their intended footprints:
+
+* :func:`stack_distances` -- the LRU stack distance of every data
+  reference (the number of *distinct* lines touched since the previous
+  reference to the same line; cold references yield ``None``);
+* :func:`miss_ratio_curve` -- miss ratios of fully-associative LRU
+  caches of the given sizes, computed in one pass from the distance
+  histogram (Mattson's classic inclusion property);
+* :func:`working_set_lines` -- the smallest number of hot lines covering
+  a target fraction of references.
+
+The stack-distance computation uses the Bennett-Kruskal / Olken
+algorithm: a Fenwick tree over reference timestamps marks each line's
+most recent occurrence, so every distance query is O(log N).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .events import Read, TraceEvent, Write
+
+__all__ = ["data_lines", "stack_distances", "miss_ratio_curve",
+           "working_set_lines"]
+
+
+class _Fenwick:
+    """Binary indexed tree over reference timestamps."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        tree = self._tree
+        while index < len(tree):
+            tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries [0, index)."""
+        total = 0
+        tree = self._tree
+        while index > 0:
+            total += tree[index]
+            index -= index & (-index)
+        return total
+
+
+def data_lines(events: Iterable[TraceEvent],
+               line_size: int = 16) -> List[int]:
+    """The sequence of cache lines touched by data references."""
+    if line_size < 1 or line_size & (line_size - 1):
+        raise ValueError("line_size must be a power of two")
+    shift = line_size.bit_length() - 1
+    return [event.addr >> shift for event in events
+            if isinstance(event, (Read, Write))]
+
+
+def stack_distances(events: Iterable[TraceEvent],
+                    line_size: int = 16) -> List[Optional[int]]:
+    """LRU stack distance per data reference (``None`` for cold).
+
+    Distance 0 means the immediately preceding distinct line was this
+    one (a repeat); a reference at distance d hits in any
+    fully-associative LRU cache of more than d lines.
+    """
+    lines = data_lines(events, line_size)
+    tree = _Fenwick(len(lines))
+    last_position: Dict[int, int] = {}
+    distances: List[Optional[int]] = []
+    for position, line in enumerate(lines):
+        previous = last_position.get(line)
+        if previous is None:
+            distances.append(None)
+        else:
+            # Distinct lines touched strictly after the previous access:
+            # the count of "most recent occurrence" marks past it.
+            marks_before = tree.prefix_sum(previous + 1)
+            marks_total = tree.prefix_sum(position)
+            distances.append(marks_total - marks_before)
+            tree.add(previous, -1)
+        tree.add(position, +1)
+        last_position[line] = position
+    return distances
+
+
+def miss_ratio_curve(events: Iterable[TraceEvent],
+                     cache_sizes: Sequence[int],
+                     line_size: int = 16) -> Dict[int, float]:
+    """Miss ratio of fully-associative LRU caches of ``cache_sizes``.
+
+    One trace pass serves every size (LRU's inclusion property): a
+    reference misses in a cache of L lines iff its stack distance is at
+    least L (or it is cold).
+    """
+    if not cache_sizes:
+        raise ValueError("need at least one cache size")
+    distances = stack_distances(events, line_size)
+    if not distances:
+        raise ValueError("trace contains no data references")
+    histogram = Counter(d for d in distances if d is not None)
+    cold = sum(1 for d in distances if d is None)
+    total = len(distances)
+    curve: Dict[int, float] = {}
+    for size in sorted(cache_sizes):
+        lines = size // line_size
+        if lines < 1:
+            raise ValueError(f"cache size {size} smaller than a line")
+        hits = sum(count for distance, count in histogram.items()
+                   if distance < lines)
+        curve[size] = (total - hits) / total
+    return curve
+
+
+def working_set_lines(events: Iterable[TraceEvent],
+                      fraction: float = 0.9,
+                      line_size: int = 16) -> int:
+    """Smallest number of hot lines covering ``fraction`` of references.
+
+    The classic 90% working set: sort lines by reference count and take
+    the smallest prefix whose references reach the target fraction.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    counts = Counter(data_lines(events, line_size))
+    if not counts:
+        raise ValueError("trace contains no data references")
+    target = fraction * sum(counts.values())
+    covered = 0
+    for needed, (_, count) in enumerate(counts.most_common(), start=1):
+        covered += count
+        if covered >= target:
+            return needed
+    return len(counts)

@@ -1,0 +1,148 @@
+"""Trace event vocabulary for the Tango-Lite-equivalent interleaver.
+
+The paper drives its multiprocessor cache simulator with "properly
+interleaved reference events" produced by Tango-Lite, an execution-driven
+tracing tool.  In this reproduction every application process is a Python
+generator that *yields* the events defined here; the interleaver
+(:mod:`repro.trace.interleave`) consumes them in simulated-time order and
+feeds memory events to the cache hierarchy.
+
+Two events carry responses back into the generator through ``send()``:
+
+* :class:`TaskDequeue` -- the interleaver sends back the dequeued item (or
+  ``None`` when the queue is empty), which is how dynamically scheduled
+  workloads such as Cholesky's supernode task queue are expressed.
+* :class:`LockAcquire` -- resumes only once the lock is held (the generator
+  receives ``None``; blocking is transparent).
+
+All events are small frozen dataclasses so traces can be stored, hashed and
+compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+__all__ = [
+    "Compute",
+    "Read",
+    "Write",
+    "Ifetch",
+    "LockAcquire",
+    "LockRelease",
+    "Barrier",
+    "TaskEnqueue",
+    "TaskDequeue",
+    "TraceEvent",
+    "is_memory_event",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Execute ``cycles`` of non-memory work on the issuing processor.
+
+    Applications use this to represent the instructions between shared-data
+    references; the interleaver simply advances the process's local clock.
+    ``cycles`` must be non-negative (zero is allowed and is a no-op).
+    """
+
+    cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class Read:
+    """A data load from shared memory at byte address ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True, slots=True)
+class Write:
+    """A data store to shared memory at byte address ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True, slots=True)
+class Ifetch:
+    """An instruction fetch of ``count`` sequential instructions at ``addr``.
+
+    Emitting one event per instruction would dominate simulation cost, so
+    workloads fetch code in basic-block-sized runs; the per-processor
+    instruction cache walks the covered lines.
+    """
+
+    addr: int
+    count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class LockAcquire:
+    """Acquire the global lock named ``lock_id`` (blocking)."""
+
+    lock_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class LockRelease:
+    """Release the global lock named ``lock_id``.
+
+    Releasing a lock that the process does not hold is a protocol error and
+    the interleaver raises :class:`repro.trace.interleave.SyncProtocolError`.
+    """
+
+    lock_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier:
+    """Wait at barrier ``barrier_id`` until ``count`` processes arrive.
+
+    All arrivals resume at the maximum arrival time (plus a small fixed
+    overhead), mirroring the ANL macro BARRIER used by the SPLASH codes.
+    """
+
+    barrier_id: int
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEnqueue:
+    """Append ``item`` to the shared FIFO task queue ``queue_id``."""
+
+    queue_id: int
+    item: Any
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDequeue:
+    """Pop the head of task queue ``queue_id``.
+
+    The interleaver sends the popped item back into the generator; it sends
+    ``None`` when the queue is currently empty (the application decides
+    whether to spin, do other work, or finish).
+    """
+
+    queue_id: int
+
+
+TraceEvent = Union[
+    Compute,
+    Read,
+    Write,
+    Ifetch,
+    LockAcquire,
+    LockRelease,
+    Barrier,
+    TaskEnqueue,
+    TaskDequeue,
+]
+
+_MEMORY_EVENT_TYPES = (Read, Write, Ifetch)
+
+
+def is_memory_event(event: TraceEvent) -> bool:
+    """Return ``True`` for events serviced by the memory hierarchy."""
+    return isinstance(event, _MEMORY_EVENT_TYPES)

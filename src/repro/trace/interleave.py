@@ -1,0 +1,310 @@
+"""Timing-accurate interleaving of application processes.
+
+Tango-Lite's job in the paper (Section 2.2.2) is "to supply properly
+interleaved reference events to a detailed multiprocessor cache simulator".
+:class:`TimingInterleaver` is that component.  Every application process is
+a generator of :mod:`repro.trace.events`; the interleaver keeps each
+process's local clock and always advances the globally *earliest* runnable
+process, so the order in which references reach the caches reflects
+simulated time -- including the feedback of memory stalls into instruction
+interleaving, which is what distinguishes timing-accurate simulation from
+fixed-interleave trace replay.
+
+Exactness note: the scheduler lets the earliest process keep running while
+its local clock has not passed the next-earliest process's clock.  No other
+process can emit an event in that window, so this batching is *exactly*
+equivalent to strict global time ordering while avoiding one heap operation
+per event.
+
+Synchronization (ANL macro equivalents):
+
+* locks are FIFO-granted; uncontended acquire/release costs
+  ``lock_overhead`` busy cycles, contended waiting counts as sync stall;
+* barriers release all arrivals at the maximum arrival time plus
+  ``barrier_overhead``;
+* task queues are shared FIFOs; ``TaskDequeue`` returns ``None`` to the
+  generator when empty (workloads spin or retire, their choice).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from ..core.system import MultiprocessorSystem
+from .events import (Barrier, Compute, Ifetch, LockAcquire, LockRelease,
+                     Read, TaskDequeue, TaskEnqueue, TraceEvent, Write)
+
+__all__ = ["TimingInterleaver", "DeadlockError", "SyncProtocolError"]
+
+ProcessGenerator = Generator[TraceEvent, Any, None]
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished processes are blocked on synchronization."""
+
+
+class SyncProtocolError(RuntimeError):
+    """A process misused a lock or barrier (e.g. released a lock it does
+    not hold)."""
+
+
+class _Process:
+    __slots__ = ("pid", "generator", "time", "response", "blocked",
+                 "finished", "block_start", "in_heap")
+
+    def __init__(self, pid: int, generator: ProcessGenerator):
+        self.pid = pid
+        self.generator = generator
+        self.time = 0
+        self.response: Any = None
+        self.blocked = False
+        self.finished = False
+        self.block_start = 0
+        self.in_heap = False
+
+
+class _Lock:
+    __slots__ = ("holder", "waiters")
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+
+
+class TimingInterleaver:
+    """Drives application processes against a memory system."""
+
+    def __init__(self, system: MultiprocessorSystem,
+                 lock_overhead: Optional[int] = None,
+                 barrier_overhead: Optional[int] = None,
+                 observer=None):
+        self.system = system
+        self.observer = observer
+        """Optional event observer (e.g.
+        :class:`repro.trace.racecheck.RaceDetector`); receives
+        ``on_access``/``on_acquire``/``on_release``/``on_barrier_*``/
+        ``on_enqueue``/``on_dequeue`` callbacks as events are granted."""
+        config = system.config
+        self.lock_overhead = (config.lock_overhead if lock_overhead is None
+                              else lock_overhead)
+        self.barrier_overhead = (config.barrier_overhead
+                                 if barrier_overhead is None
+                                 else barrier_overhead)
+        self._processes: Dict[int, _Process] = {}
+        self._heap: List[Tuple[int, int, int]] = []
+        self._seq = 0
+        self._locks: Dict[int, _Lock] = {}
+        self._barriers: Dict[int, List[int]] = {}
+        self._queues: Dict[int, Deque[Any]] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_process(self, proc_id: int, generator: ProcessGenerator,
+                    start_time: int = 0) -> None:
+        """Register ``generator`` as the event stream of processor
+        ``proc_id`` (a machine-global id known to the system config)."""
+        if proc_id in self._processes:
+            raise ValueError(f"process {proc_id} already registered")
+        if not 0 <= proc_id < self.system.config.total_processors:
+            raise ValueError(f"process id {proc_id} outside the machine")
+        process = _Process(proc_id, generator)
+        process.time = start_time
+        self._processes[proc_id] = process
+        self._push(process)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Run every process to completion; returns the execution time
+        (the cycle the last process finished).
+
+        ``max_cycles`` aborts a runaway simulation with ``RuntimeError``
+        (useful in tests) -- it bounds simulated time, not wall time.
+        """
+        if not self._processes:
+            raise RuntimeError("no processes registered")
+        finish_time = 0
+        while self._heap:
+            _time, _, pid = heapq.heappop(self._heap)
+            process = self._processes[pid]
+            process.in_heap = False
+            finish = self._advance(process, max_cycles)
+            if finish is not None:
+                finish_time = max(finish_time, finish)
+        unfinished = [p.pid for p in self._processes.values()
+                      if not p.finished]
+        if unfinished:
+            raise DeadlockError(
+                f"processes {unfinished} blocked forever "
+                f"(locks={self._lock_summary()})")
+        return finish_time
+
+    def _advance(self, process: _Process,
+                 max_cycles: Optional[int]) -> Optional[int]:
+        """Run ``process`` until it blocks, finishes, or falls behind the
+        next-earliest process.  Returns its finish time if it ended."""
+        heap = self._heap
+        while True:
+            if max_cycles is not None and process.time > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles")
+            try:
+                if process.response is not None:
+                    event = process.generator.send(process.response)
+                    process.response = None
+                else:
+                    # next() also serves plain iterators (replayed traces).
+                    event = next(process.generator)
+            except StopIteration:
+                process.finished = True
+                return process.time
+            self.events_processed += 1
+            self._dispatch(process, event)
+            if process.blocked:
+                return None
+            if process.in_heap:
+                # The process unblocked itself while handling its own event
+                # (it was the releasing arrival of a barrier) and is already
+                # scheduled; running on would double-schedule it.
+                return None
+            if heap and process.time > heap[0][0]:
+                self._push(process)
+                return None
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, process: _Process, event: TraceEvent) -> None:
+        system = self.system
+        pid = process.pid
+        if type(event) is Read:
+            if self.observer is not None:
+                self.observer.on_access(pid, event.addr, False)
+            process.time = system.data_access(pid, event.addr, False,
+                                              process.time)
+        elif type(event) is Write:
+            if self.observer is not None:
+                self.observer.on_access(pid, event.addr, True)
+            process.time = system.data_access(pid, event.addr, True,
+                                              process.time)
+        elif type(event) is Compute:
+            if event.cycles:
+                system.account_compute(pid, event.cycles)
+                process.time += event.cycles
+        elif type(event) is Ifetch:
+            process.time = system.ifetch(pid, event.addr, event.count,
+                                         process.time)
+        elif type(event) is LockAcquire:
+            self._lock_acquire(process, event.lock_id)
+        elif type(event) is LockRelease:
+            self._lock_release(process, event.lock_id)
+        elif type(event) is Barrier:
+            self._barrier(process, event.barrier_id, event.count)
+        elif type(event) is TaskEnqueue:
+            if self.observer is not None:
+                self.observer.on_enqueue(pid, event.queue_id)
+            self._queues.setdefault(event.queue_id, deque()).append(
+                event.item)
+        elif type(event) is TaskDequeue:
+            queue = self._queues.setdefault(event.queue_id, deque())
+            process.response = queue.popleft() if queue else None
+            if self.observer is not None:
+                self.observer.on_dequeue(pid, event.queue_id,
+                                         process.response is not None)
+        else:
+            raise TypeError(f"process {pid} yielded {event!r}, "
+                            f"not a trace event")
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+
+    def _lock_acquire(self, process: _Process, lock_id: int) -> None:
+        lock = self._locks.setdefault(lock_id, _Lock())
+        if lock.holder is None:
+            lock.holder = process.pid
+            if self.observer is not None:
+                self.observer.on_acquire(process.pid, lock_id)
+            self.system.account_compute(process.pid, self.lock_overhead)
+            process.time += self.lock_overhead
+        else:
+            process.blocked = True
+            process.block_start = process.time
+            lock.waiters.append(process.pid)
+
+    def _lock_release(self, process: _Process, lock_id: int) -> None:
+        lock = self._locks.get(lock_id)
+        if lock is None or lock.holder != process.pid:
+            raise SyncProtocolError(
+                f"process {process.pid} released lock {lock_id} "
+                f"it does not hold")
+        if self.observer is not None:
+            self.observer.on_release(process.pid, lock_id)
+        self.system.account_compute(process.pid, self.lock_overhead)
+        process.time += self.lock_overhead
+        if lock.waiters:
+            next_pid = lock.waiters.popleft()
+            lock.holder = next_pid
+            if self.observer is not None:
+                self.observer.on_acquire(next_pid, lock_id)
+            self._wake(next_pid, process.time + self.lock_overhead)
+        else:
+            lock.holder = None
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+
+    def _barrier(self, process: _Process, barrier_id: int,
+                 count: int) -> None:
+        if count < 1:
+            raise SyncProtocolError("barrier count must be >= 1")
+        waiting = self._barriers.setdefault(barrier_id, [])
+        process.blocked = True
+        process.block_start = process.time
+        waiting.append(process.pid)
+        if self.observer is not None:
+            self.observer.on_barrier_arrive(process.pid, barrier_id)
+        if len(waiting) > count:
+            raise SyncProtocolError(
+                f"barrier {barrier_id} exceeded its count {count}")
+        if len(waiting) == count:
+            release = max(self._processes[pid].time for pid in waiting)
+            release += self.barrier_overhead
+            arrivals = list(waiting)
+            waiting.clear()
+            if self.observer is not None:
+                self.observer.on_barrier_release(barrier_id)
+            for pid in arrivals:
+                self._wake(pid, release)
+
+    # ------------------------------------------------------------------
+    # Scheduling plumbing
+    # ------------------------------------------------------------------
+
+    def _wake(self, pid: int, resume_time: int) -> None:
+        process = self._processes[pid]
+        resume_time = max(resume_time, process.time)
+        self.system.account_sync(pid, resume_time - process.block_start)
+        process.time = resume_time
+        process.blocked = False
+        self._push(process)
+
+    def _push(self, process: _Process) -> None:
+        if process.in_heap:
+            raise RuntimeError(f"process {process.pid} scheduled twice")
+        process.in_heap = True
+        self._seq += 1
+        heapq.heappush(self._heap, (process.time, self._seq, process.pid))
+
+    def _lock_summary(self) -> Dict[int, Optional[int]]:
+        return {lock_id: lock.holder
+                for lock_id, lock in self._locks.items() if lock.waiters}

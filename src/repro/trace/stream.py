@@ -1,0 +1,81 @@
+"""Utilities over per-process event streams.
+
+A *static* stream is one with no response-carrying events
+(:class:`~repro.trace.events.TaskDequeue`); static streams can be
+materialized to lists, saved to trace files, transformed, and replayed
+bit-for-bit.  Dynamic workloads (Cholesky's task queue, the
+multiprogramming scheduler) cannot be captured this way -- they must be
+re-executed under the interleaver, which is also what Tango-Lite does in
+its execution-driven mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Type
+
+from .events import (Barrier, Compute, Ifetch, LockAcquire, LockRelease,
+                     Read, TaskDequeue, TaskEnqueue, TraceEvent, Write)
+
+__all__ = [
+    "materialize",
+    "replay",
+    "coalesce_compute",
+    "event_histogram",
+    "reference_count",
+]
+
+
+def materialize(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Collect a static stream into a list.
+
+    Raises :class:`TypeError` if the stream contains a response-carrying
+    event, because replaying such a stream would silently diverge from
+    re-execution.
+    """
+    collected: List[TraceEvent] = []
+    for event in events:
+        if isinstance(event, TaskDequeue):
+            raise TypeError(
+                "stream is dynamic (contains TaskDequeue); re-execute it "
+                "under the interleaver instead of materializing")
+        collected.append(event)
+    return collected
+
+
+def replay(events: Sequence[TraceEvent]) -> Iterator[TraceEvent]:
+    """Turn a materialized stream back into a process generator."""
+    for event in events:
+        yield event
+
+
+def coalesce_compute(events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+    """Merge runs of adjacent :class:`Compute` events into one.
+
+    Workload code often emits many small compute chunks; coalescing them
+    shrinks traces and speeds up simulation without changing timing.
+    """
+    pending = 0
+    for event in events:
+        if isinstance(event, Compute):
+            pending += event.cycles
+            continue
+        if pending:
+            yield Compute(pending)
+            pending = 0
+        yield event
+    if pending:
+        yield Compute(pending)
+
+
+def event_histogram(
+        events: Iterable[TraceEvent]) -> Dict[Type[TraceEvent], int]:
+    """Count events by type (test and report helper)."""
+    histogram: Dict[Type[TraceEvent], int] = {}
+    for event in events:
+        histogram[type(event)] = histogram.get(type(event), 0) + 1
+    return histogram
+
+
+def reference_count(events: Iterable[TraceEvent]) -> int:
+    """Number of data references (reads + writes) in a stream."""
+    return sum(1 for event in events if isinstance(event, (Read, Write)))

@@ -1,0 +1,129 @@
+"""Compact binary trace files.
+
+Static event streams (see :mod:`repro.trace.stream`) can be saved to disk
+so experiments are reproducible without re-running the workload generator,
+and so regression tests can pin exact reference sequences.  The format is a
+simple tagged binary encoding:
+
+* header: magic ``b"SCCT"``, format version, event count;
+* one record per event: a type tag byte followed by the event's fields as
+  little-endian unsigned 64-bit integers.
+
+Only static events are encodable; :class:`~repro.trace.events.TaskEnqueue`
+items must be integers for the same reason.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .events import (Barrier, Compute, Ifetch, LockAcquire, LockRelease,
+                     Read, TaskEnqueue, TraceEvent, Write)
+
+__all__ = ["save_trace", "load_trace", "TraceFormatError"]
+
+_MAGIC = b"SCCT"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHQ")
+
+_TAG_COMPUTE = 0
+_TAG_READ = 1
+_TAG_WRITE = 2
+_TAG_IFETCH = 3
+_TAG_LOCK_ACQUIRE = 4
+_TAG_LOCK_RELEASE = 5
+_TAG_BARRIER = 6
+_TAG_TASK_ENQUEUE = 7
+
+_ONE_FIELD = struct.Struct("<BQ")
+_TWO_FIELDS = struct.Struct("<BQQ")
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid trace of a supported version."""
+
+
+def save_trace(path: Union[str, Path],
+               events: Iterable[TraceEvent]) -> int:
+    """Write ``events`` to ``path``; returns the number written."""
+    records: List[bytes] = []
+    for event in events:
+        records.append(_encode(event))
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(records)))
+        handle.write(b"".join(records))
+    return len(records)
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _HEADER.size:
+        raise TraceFormatError("truncated header")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise TraceFormatError("bad magic; not a trace file")
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    events: List[TraceEvent] = []
+    offset = _HEADER.size
+    for _ in range(count):
+        event, offset = _decode(data, offset)
+        events.append(event)
+    if offset != len(data):
+        raise TraceFormatError("trailing bytes after final event")
+    return events
+
+
+def _encode(event: TraceEvent) -> bytes:
+    kind = type(event)
+    if kind is Compute:
+        return _ONE_FIELD.pack(_TAG_COMPUTE, event.cycles)
+    if kind is Read:
+        return _ONE_FIELD.pack(_TAG_READ, event.addr)
+    if kind is Write:
+        return _ONE_FIELD.pack(_TAG_WRITE, event.addr)
+    if kind is Ifetch:
+        return _TWO_FIELDS.pack(_TAG_IFETCH, event.addr, event.count)
+    if kind is LockAcquire:
+        return _ONE_FIELD.pack(_TAG_LOCK_ACQUIRE, event.lock_id)
+    if kind is LockRelease:
+        return _ONE_FIELD.pack(_TAG_LOCK_RELEASE, event.lock_id)
+    if kind is Barrier:
+        return _TWO_FIELDS.pack(_TAG_BARRIER, event.barrier_id, event.count)
+    if kind is TaskEnqueue:
+        if not isinstance(event.item, int) or event.item < 0:
+            raise TraceFormatError(
+                "only non-negative integer task items are encodable")
+        return _TWO_FIELDS.pack(_TAG_TASK_ENQUEUE, event.queue_id,
+                                event.item)
+    raise TraceFormatError(f"event {event!r} is not encodable "
+                           f"(dynamic streams cannot be saved)")
+
+
+def _decode(data: bytes, offset: int):
+    tag = data[offset]
+    if tag in (_TAG_IFETCH, _TAG_BARRIER, _TAG_TASK_ENQUEUE):
+        _, first, second = _TWO_FIELDS.unpack_from(data, offset)
+        offset += _TWO_FIELDS.size
+        if tag == _TAG_IFETCH:
+            return Ifetch(first, second), offset
+        if tag == _TAG_BARRIER:
+            return Barrier(first, second), offset
+        return TaskEnqueue(first, second), offset
+    _, value = _ONE_FIELD.unpack_from(data, offset)
+    offset += _ONE_FIELD.size
+    if tag == _TAG_COMPUTE:
+        return Compute(value), offset
+    if tag == _TAG_READ:
+        return Read(value), offset
+    if tag == _TAG_WRITE:
+        return Write(value), offset
+    if tag == _TAG_LOCK_ACQUIRE:
+        return LockAcquire(value), offset
+    if tag == _TAG_LOCK_RELEASE:
+        return LockRelease(value), offset
+    raise TraceFormatError(f"unknown event tag {tag}")

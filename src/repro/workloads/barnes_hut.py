@@ -1,0 +1,585 @@
+"""Instrumented Barnes-Hut N-body simulation (SPLASH equivalent).
+
+Section 2.2.1's first parallel benchmark: a hierarchical N-body code that
+builds an octree over the bodies each time step and computes forces by
+traversing it with an opening criterion.  This module really implements
+the algorithm -- bodies move under gravity, the octree is rebuilt from the
+new positions every step -- and emits a trace event for every shared-data
+reference, so the locality phenomena the paper analyses arise from the
+data structures themselves:
+
+* bodies are partitioned among processors in **tree order** (the in-order
+  walk of the octree's leaves), so processors with adjacent ids work on
+  spatially adjacent bodies and "traverse the same regions of the tree at
+  around the same times" (Section 3.1.1) -- the source of the
+  intra-cluster prefetching effect;
+* the octree is built **in parallel** with hand-over-hand per-cell locks,
+  as in the SPLASH code; centres of mass are computed level-parallel,
+  deepest level first;
+* cells are read-shared during force computation and each body's
+  accelerations/positions are written only by its owner, so invalidation
+  traffic does not grow with processors per cluster.
+
+Scaled down from the paper's 1024 bodies to keep pure-Python simulation
+tractable; the footprint/cache-size ratio is preserved by scaling the SCC
+ladder by the matching factor (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import SystemConfig
+from ..trace.events import Barrier, Compute, LockAcquire, LockRelease, Read, Write
+from .base import TracedApplication
+from .memory import SharedHeap
+
+__all__ = ["BarnesHut", "Body", "Cell"]
+
+# Record layouts (byte offsets within a record).
+_BODY_RECORD = 96      # pos @0 (24 B), vel @32 (24 B), acc @64 (24 B), mass @88
+_BODY_POS = 0
+_BODY_VEL = 32
+_BODY_ACC = 64
+_CELL_RECORD = 112     # centre of mass @0 (24 B), mass @24, children @48 (64 B)
+_CELL_COM = 0
+_CELL_CHILDREN = 48
+
+# Cycle costs for the arithmetic between references.
+_INTERACTION_COMPUTE = 22   # one body-cell or body-body interaction
+_OPEN_TEST_COMPUTE = 8      # evaluating the opening criterion
+_UPDATE_COMPUTE = 16        # leapfrog integration of one body
+_INSERT_COMPUTE = 6         # one level of tree descent during insertion
+_PARTITION_COMPUTE = 40     # per-body share of the partitioning pass
+
+# Lock-id namespace: cell locks start here (cell index + base).
+_CELL_LOCK_BASE = 100
+
+
+class Body:
+    """One simulated body (state lives here; the trace names its record)."""
+
+    __slots__ = ("index", "pos", "vel", "acc", "mass", "cost")
+
+    def __init__(self, index: int, pos, vel, mass: float):
+        self.index = index
+        self.pos = pos          # length-3 list of floats
+        self.vel = vel
+        self.acc = [0.0, 0.0, 0.0]
+        self.mass = mass
+        self.cost = 1           # interactions in the last force phase
+
+
+class Cell:
+    """One octree cell; children are Body, Cell or None."""
+
+    __slots__ = ("index", "centre", "half", "children", "com", "mass",
+                 "depth")
+
+    def __init__(self, index: int, centre, half: float, depth: int):
+        self.index = index
+        self.centre = centre
+        self.half = half
+        self.depth = depth
+        self.children: List[Optional[object]] = [None] * 8
+        self.com = [0.0, 0.0, 0.0]
+        self.mass = 0.0
+
+    def octant_of(self, pos) -> int:
+        """Child slot for a position (one bit per axis)."""
+        octant = 0
+        for axis in range(3):
+            if pos[axis] >= self.centre[axis]:
+                octant |= 1 << axis
+        return octant
+
+    def child_centre(self, octant: int):
+        """Centre of the child cell in ``octant``."""
+        quarter = self.half / 2.0
+        return [self.centre[axis]
+                + (quarter if octant & (1 << axis) else -quarter)
+                for axis in range(3)]
+
+
+class BarnesHut(TracedApplication):
+    """Barnes-Hut galaxy simulation, instrumented for tracing.
+
+    ``n_bodies`` and ``steps`` default to the reproduction scale (the
+    paper ran 1024 bodies for many steps); ``theta`` is the opening
+    criterion, ``softening`` the Plummer softening length.
+    """
+
+    name = "barnes-hut"
+
+    def __init__(self, n_bodies: int = 256, steps: int = 2,
+                 theta: float = 0.55, dt: float = 0.025,
+                 softening: float = 0.05, seed: int = 42):
+        if n_bodies < 2:
+            raise ValueError("need at least two bodies")
+        if steps < 1:
+            raise ValueError("need at least one step")
+        if not 0.1 <= theta <= 2.0:
+            raise ValueError("theta outside a sensible range")
+        self.n_bodies = n_bodies
+        self.steps = steps
+        self.theta = theta
+        self.dt = dt
+        self.softening = softening
+        self.seed = seed
+
+    def processes(self, config: SystemConfig) -> Dict[int, Generator]:
+        run = _BarnesHutRun(self, config)
+        return {proc: run.process(proc)
+                for proc in range(config.total_processors)}
+
+
+class _BarnesHutRun:
+    """Shared state of one simulation run (one per machine configuration)."""
+
+    def __init__(self, app: BarnesHut, config: SystemConfig):
+        self.app = app
+        self.config = config
+        self.n_procs = config.total_processors
+        rng = np.random.default_rng(app.seed)
+        self.bodies = _plummer_bodies(app.n_bodies, rng)
+        heap = SharedHeap()
+        self.body_region = heap.alloc_array(
+            "bodies", app.n_bodies, _BODY_RECORD)
+        self.cell_region = heap.alloc_array(
+            "cells", 4 * app.n_bodies, _CELL_RECORD)
+        self.root: Optional[Cell] = None
+        # Per-processor cell-index pools so parallel insertion needs no
+        # global allocation lock (the SPLASH code uses per-process pools
+        # the same way).
+        pool = self.cell_region.count // self.n_procs
+        self._cell_pool_next = [p * pool for p in range(self.n_procs)]
+        self._cell_pool_end = [(p + 1) * pool for p in range(self.n_procs)]
+        # Partition of bodies (tree order), recomputed after each build.
+        # A quiet pre-pass (no trace events) seeds per-body interaction
+        # costs so even the first measured step is cost-balanced -- the
+        # equivalent of SPLASH's unmeasured warm-up steps before its
+        # costzones partitioner reaches steady state.
+        self._seed_costs()
+        self.assignments: List[List[Body]] = _cluster_partition(
+            list(self.bodies), config)
+        self.levels: List[List[Cell]] = []
+
+    # -- address helpers ------------------------------------------------
+
+    def body_addr(self, body: Body, field: int) -> int:
+        return self.body_region.record(body.index, field)
+
+    def cell_addr(self, cell: Cell, field: int) -> int:
+        return self.cell_region.record(cell.index, field)
+
+    @staticmethod
+    def cell_lock(cell: Cell) -> int:
+        return _CELL_LOCK_BASE + cell.index
+
+    # -- process generators ----------------------------------------------
+
+    def process(self, proc: int) -> Generator:
+        """The event stream of processor ``proc``.
+
+        Per step: processor 0 seeds a fresh root; everyone inserts its
+        bodies in parallel under per-cell locks; centres of mass are
+        computed level-parallel; processor 0 re-partitions in tree order;
+        then the parallel force and integration phases.
+        """
+        n = self.n_procs
+        for _step in range(self.app.steps):
+            yield Barrier(0, n)
+            if proc == 0:
+                self._reset_tree()
+                yield Write(self.cell_addr(self.root, _CELL_CHILDREN))
+            yield Barrier(1, n)
+            yield from self._insert_phase(proc)
+            yield Barrier(2, n)
+            if proc == 0:
+                self._collect_levels()
+            yield Barrier(3, n)
+            yield from self._summarize_phase(proc)
+            if proc == 0:
+                self._partition()
+            yield Compute(_PARTITION_COMPUTE * len(self.assignments[proc]))
+            yield Barrier(4, n)
+            yield from self._force_phase(proc)
+            yield Barrier(5, n)
+            yield from self._update_phase(proc)
+            yield Barrier(6, n)
+
+    def _seed_costs(self) -> None:
+        """Quietly (no events) build one tree and count interactions per
+        body, so the first measured step starts cost-balanced."""
+        root = _quiet_build(self.bodies)
+        theta2 = self.app.theta ** 2
+        eps2 = self.app.softening ** 2
+        for body in self.bodies:
+            cost = 0
+            stack: List[object] = [root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Body):
+                    if node is not body:
+                        cost += 1
+                    continue
+                dist2 = _distance2(body.pos, node.com) + eps2
+                if (2.0 * node.half) ** 2 < dist2 * theta2:
+                    cost += 1
+                    continue
+                for child in node.children:
+                    if child is not None:
+                        stack.append(child)
+            body.cost = max(cost, 1)
+
+    # -- tree construction -------------------------------------------------
+
+    def _reset_tree(self) -> None:
+        pool = self.cell_region.count // self.n_procs
+        self._cell_pool_next = [p * pool for p in range(self.n_procs)]
+        # The root comes out of processor 0's pool.
+        centre, half = _bounding_cube(self.bodies)
+        self.root = self._new_cell(0, centre, half, depth=0)
+
+    def _new_cell(self, proc: int, centre, half: float, depth: int) -> Cell:
+        index = self._cell_pool_next[proc]
+        if index >= self._cell_pool_end[proc]:
+            raise RuntimeError(f"cell pool of processor {proc} exhausted")
+        self._cell_pool_next[proc] = index + 1
+        return Cell(index, centre, half, depth)
+
+    def _insert_phase(self, proc: int) -> Generator:
+        for body in self.assignments[proc]:
+            yield Read(self.body_addr(body, _BODY_POS))
+            yield from self._insert(proc, body)
+
+    def _insert(self, proc: int, body: Body) -> Generator:
+        """Insert ``body`` with optimistic descent and per-cell locks.
+
+        As in the SPLASH code, the descent reads child slots without
+        locking; a lock is taken only on the cell whose slot must be
+        mutated, and the slot is re-read under the lock in case another
+        processor raced in (in which case the descent resumes from the
+        freshly installed subtree).  Cells never move or disappear, so
+        the optimistic read is safe.
+        """
+        cell = self.root
+        while True:
+            octant = cell.octant_of(body.pos)
+            yield Compute(_INSERT_COMPUTE)
+            yield Read(self.cell_addr(cell, _CELL_CHILDREN + octant * 8))
+            child = cell.children[octant]
+            if isinstance(child, Cell):
+                cell = child
+                continue
+            # Slot is empty or holds a body: mutate under the cell lock.
+            yield LockAcquire(self.cell_lock(cell))
+            yield Read(self.cell_addr(cell, _CELL_CHILDREN + octant * 8))
+            child = cell.children[octant]
+            if isinstance(child, Cell):
+                # Raced: someone installed a subtree here meanwhile.
+                yield LockRelease(self.cell_lock(cell))
+                cell = child
+                continue
+            if child is None:
+                cell.children[octant] = body
+                yield Write(self.cell_addr(cell,
+                                           _CELL_CHILDREN + octant * 8))
+                yield LockRelease(self.cell_lock(cell))
+                return
+            # The slot holds a body: split it into a subcell and resume
+            # the descent inside the new subcell.
+            subcell = self._new_cell(proc, cell.child_centre(octant),
+                                     cell.half / 2.0, cell.depth + 1)
+            sub_octant = subcell.octant_of(child.pos)
+            subcell.children[sub_octant] = child
+            yield Read(self.body_addr(child, _BODY_POS))
+            yield Write(self.cell_addr(subcell,
+                                       _CELL_CHILDREN + sub_octant * 8))
+            cell.children[octant] = subcell
+            yield Write(self.cell_addr(cell, _CELL_CHILDREN + octant * 8))
+            yield LockRelease(self.cell_lock(cell))
+            cell = subcell
+
+    def _collect_levels(self) -> None:
+        """Group cells by depth for the level-parallel summarize phase."""
+        levels: List[List[Cell]] = []
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            while len(levels) <= cell.depth:
+                levels.append([])
+            levels[cell.depth].append(cell)
+            for child in cell.children:
+                if isinstance(child, Cell):
+                    stack.append(child)
+        self.levels = levels
+
+    def _summarize_phase(self, proc: int) -> Generator:
+        """Centre-of-mass computation, deepest level first.
+
+        Within a level cells are independent, so each processor takes a
+        contiguous block (DFS collection order is roughly spatial order,
+        which keeps a cluster's cells spatially close); a barrier
+        separates levels because parents read their children's results.
+        """
+        n = self.n_procs
+        for depth in range(len(self.levels) - 1, -1, -1):
+            level = self.levels[depth]
+            lo = (proc * len(level)) // n
+            hi = ((proc + 1) * len(level)) // n
+            for cell in level[lo:hi]:
+                yield from self._summarize_cell(cell)
+            yield Barrier(7, n)
+
+    def _summarize_cell(self, cell: Cell) -> Generator:
+        mass = 0.0
+        com = [0.0, 0.0, 0.0]
+        for child in cell.children:
+            if child is None:
+                continue
+            if isinstance(child, Cell):
+                yield Read(self.cell_addr(child, _CELL_COM))
+                child_mass, child_com = child.mass, child.com
+            else:
+                yield Read(self.body_addr(child, _BODY_POS))
+                child_mass, child_com = child.mass, child.pos
+            mass += child_mass
+            for axis in range(3):
+                com[axis] += child_mass * child_com[axis]
+        if mass > 0.0:
+            for axis in range(3):
+                com[axis] /= mass
+        cell.mass = mass
+        cell.com = com
+        yield Write(self.cell_addr(cell, _CELL_COM))
+        yield Compute(_INTERACTION_COMPUTE)
+
+    # -- partitioning -----------------------------------------------------
+
+    def _partition(self) -> None:
+        """Assign contiguous runs of tree-ordered bodies to processors.
+
+        Tree order (the in-order walk of the leaves) puts spatially
+        adjacent bodies next to each other, so neighbouring processors --
+        and therefore processors in the same cluster -- receive adjacent
+        regions of space.  This is the property behind the paper's
+        intra-cluster prefetching observation.
+
+        Chunks are weighted by each body's interaction count from the
+        previous force phase (SPLASH's costzones strategy), which keeps
+        the force phase load-balanced even though central bodies interact
+        far more than peripheral ones.
+        """
+        ordered = _tree_ordered_bodies(self.root)
+        self.assignments = _cluster_partition(ordered, self.config)
+
+    # -- force computation -------------------------------------------------
+
+    def _force_phase(self, proc: int) -> Generator:
+        for body in self.assignments[proc]:
+            yield Read(self.body_addr(body, _BODY_POS))
+            yield from self._gravity(body)
+            yield Write(self.body_addr(body, _BODY_ACC))
+            yield Write(self.body_addr(body, _BODY_ACC + 16))
+
+    def _gravity(self, body: Body) -> Generator:
+        """Traverse the tree accumulating acceleration on ``body``."""
+        acc = [0.0, 0.0, 0.0]
+        eps2 = self.app.softening ** 2
+        theta2 = self.app.theta ** 2
+        interactions = 0
+        stack: List[object] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Body):
+                if node is body:
+                    continue
+                yield Read(self.body_addr(node, _BODY_POS))
+                yield Read(self.body_addr(node, _BODY_POS + 16))
+                _accumulate(acc, body.pos, node.pos, node.mass, eps2)
+                yield Compute(_INTERACTION_COMPUTE)
+                interactions += 1
+                continue
+            cell = node
+            yield Read(self.cell_addr(cell, _CELL_COM))
+            yield Read(self.cell_addr(cell, _CELL_COM + 16))
+            dist2 = _distance2(body.pos, cell.com) + eps2
+            yield Compute(_OPEN_TEST_COMPUTE)
+            size = 2.0 * cell.half
+            if size * size < dist2 * theta2:
+                # Far enough: use the cell's centre-of-mass approximation.
+                _accumulate(acc, body.pos, cell.com, cell.mass, eps2)
+                yield Compute(_INTERACTION_COMPUTE)
+                interactions += 1
+                continue
+            yield Read(self.cell_addr(cell, _CELL_CHILDREN))
+            yield Read(self.cell_addr(cell, _CELL_CHILDREN + 32))
+            for child in cell.children:
+                if child is not None:
+                    stack.append(child)
+        body.acc = acc
+        body.cost = max(interactions, 1)
+
+    # -- integration ---------------------------------------------------------
+
+    def _update_phase(self, proc: int) -> Generator:
+        dt = self.app.dt
+        for body in self.assignments[proc]:
+            yield Read(self.body_addr(body, _BODY_ACC))
+            yield Read(self.body_addr(body, _BODY_VEL))
+            for axis in range(3):
+                body.vel[axis] += body.acc[axis] * dt
+                body.pos[axis] += body.vel[axis] * dt
+            yield Write(self.body_addr(body, _BODY_VEL))
+            yield Write(self.body_addr(body, _BODY_VEL + 16))
+            yield Read(self.body_addr(body, _BODY_POS))
+            yield Write(self.body_addr(body, _BODY_POS))
+            yield Write(self.body_addr(body, _BODY_POS + 16))
+            yield Compute(_UPDATE_COMPUTE)
+
+
+# ----------------------------------------------------------------------
+# Physics and geometry helpers
+# ----------------------------------------------------------------------
+
+def _plummer_bodies(count: int, rng: np.random.Generator) -> List[Body]:
+    """Sample a Plummer-like sphere of bodies with small random velocities."""
+    radii = 1.0 / np.sqrt(rng.uniform(0.1, 1.0, count) ** (-2.0 / 3.0) - 0.9)
+    directions = rng.normal(size=(count, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    positions = directions * radii[:, None]
+    velocities = rng.normal(scale=0.1, size=(count, 3))
+    mass = 1.0 / count
+    return [Body(index,
+                 [float(x) for x in positions[index]],
+                 [float(v) for v in velocities[index]],
+                 mass)
+            for index in range(count)]
+
+
+def _bounding_cube(bodies: Sequence[Body]):
+    """Centre and half-size of a cube covering every body."""
+    low = [min(b.pos[axis] for b in bodies) for axis in range(3)]
+    high = [max(b.pos[axis] for b in bodies) for axis in range(3)]
+    centre = [(low[axis] + high[axis]) / 2.0 for axis in range(3)]
+    half = max(high[axis] - low[axis] for axis in range(3)) / 2.0
+    return centre, half * 1.0001 + 1e-9
+
+
+def _cost_chunks(ordered: List[Body], n_chunks: int) -> List[List[Body]]:
+    """Split tree-ordered bodies into contiguous chunks of roughly equal
+    total cost (the costzones idea)."""
+    total = sum(body.cost for body in ordered)
+    target = total / n_chunks
+    chunks: List[List[Body]] = [[] for _ in range(n_chunks)]
+    accumulated = 0.0
+    for body in ordered:
+        slot = min(int(accumulated / target), n_chunks - 1)
+        chunks[slot].append(body)
+        accumulated += body.cost
+    return chunks
+
+
+def _cluster_partition(ordered: List[Body],
+                       config: SystemConfig) -> List[List[Body]]:
+    """Two-level partition: contiguous cost-balanced chunks per *cluster*,
+    then a round-robin deal to the processors within each cluster.
+
+    The deal is what makes cluster-mates work on bodies that are adjacent
+    in the tree *at the same time*: processor ``i`` and processor ``i+1``
+    of a cluster hold interleaved bodies of the same zone, so they walk
+    nearly identical interaction lists in near lock-step.  That is the
+    mechanism behind the paper's observation that "one processor
+    effectively brings in data to the cache which will be used by the
+    remaining processors in the cluster before it is replaced"
+    (Section 3.1.1).
+    """
+    per_cluster = _cost_chunks(ordered, config.clusters)
+    assignments: List[List[Body]] = []
+    for chunk in per_cluster:
+        for port in range(config.processors_per_cluster):
+            assignments.append(chunk[port::config.processors_per_cluster])
+    return assignments
+
+
+def _quiet_build(bodies: Sequence[Body]) -> Cell:
+    """Build an octree without emitting events (cost-seeding pre-pass)."""
+    centre, half = _bounding_cube(bodies)
+    root = Cell(-1, centre, half, depth=0)
+    for body in bodies:
+        cell = root
+        while True:
+            octant = cell.octant_of(body.pos)
+            child = cell.children[octant]
+            if child is None:
+                cell.children[octant] = body
+                break
+            if isinstance(child, Body):
+                subcell = Cell(-1, cell.child_centre(octant),
+                               cell.half / 2.0, cell.depth + 1)
+                subcell.children[subcell.octant_of(child.pos)] = child
+                cell.children[octant] = subcell
+                cell = subcell
+                continue
+            cell = child
+    # Bottom-up centres of mass (post-order).
+    stack = [(root, False)]
+    while stack:
+        cell, expanded = stack.pop()
+        if not expanded:
+            stack.append((cell, True))
+            for child in cell.children:
+                if isinstance(child, Cell):
+                    stack.append((child, False))
+            continue
+        mass = 0.0
+        com = [0.0, 0.0, 0.0]
+        for child in cell.children:
+            if child is None:
+                continue
+            child_mass = child.mass
+            child_com = child.com if isinstance(child, Cell) else child.pos
+            mass += child_mass
+            for axis in range(3):
+                com[axis] += child_mass * child_com[axis]
+        if mass > 0.0:
+            for axis in range(3):
+                com[axis] /= mass
+        cell.mass = mass
+        cell.com = com
+    return root
+
+
+def _tree_ordered_bodies(root: Cell) -> List[Body]:
+    """Bodies in the in-order (depth-first, octant-ordered) walk."""
+    ordered: List[Body] = []
+    stack: List[object] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Body):
+            ordered.append(node)
+            continue
+        for child in reversed(node.children):
+            if child is not None:
+                stack.append(child)
+    return ordered
+
+
+def _distance2(a, b) -> float:
+    return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2)
+
+
+def _accumulate(acc, pos, source, mass: float, eps2: float) -> None:
+    """Add the softened gravitational pull of ``source`` onto ``acc``."""
+    dx = source[0] - pos[0]
+    dy = source[1] - pos[1]
+    dz = source[2] - pos[2]
+    dist2 = dx * dx + dy * dy + dz * dz + eps2
+    inv = mass / (dist2 * math.sqrt(dist2))
+    acc[0] += dx * inv
+    acc[1] += dy * inv
+    acc[2] += dz * inv

@@ -1,0 +1,245 @@
+"""Sparse symmetric matrices and symbolic Cholesky analysis.
+
+The paper factors BCSSTK14, a structural-engineering stiffness matrix from
+the Harwell-Boeing collection (n=1806, ~32k lower-triangular nonzeros).
+The collection is not redistributable here, so :func:`bcsstk_like`
+generates a synthetic stiffness-style pattern with the properties that
+drive the paper's Cholesky results: a strong band (finite elements couple
+nearby degrees of freedom) with clustered long-range connections (elements
+spanning substructures), which yields an elimination tree that is bushy at
+the leaves and path-like near the root -- i.e. plenty of early
+parallelism, a serial tail, and uneven supernode sizes (the paper's
+"limited concurrency, bad load balancing and high synchronization
+overhead", Section 3.1.3).
+
+The symbolic machinery is the textbook kit:
+
+* :func:`elimination_tree` -- Liu's algorithm with path compression;
+* :func:`symbolic_factor` -- column counts/structures of the factor L;
+* :func:`supernodes` -- relaxed supernodes (runs of parent-linked
+  columns merged while few extra rows appear), width-capped so the task
+  queue has work to distribute; ``relax=0`` gives fundamental
+  supernodes.
+
+Everything operates on a :class:`SparsePattern`: column-major lists of row
+indices of the strict lower triangle plus the diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SparsePattern", "bcsstk_like", "elimination_tree",
+           "symbolic_factor", "supernodes", "Supernode"]
+
+
+@dataclass(frozen=True)
+class SparsePattern:
+    """Sparsity structure of a symmetric matrix (lower triangle).
+
+    ``columns[j]`` holds the sorted row indices ``i >= j`` with a
+    structural nonzero at (i, j); the diagonal is always present.
+    """
+
+    n: int
+    columns: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if self.n != len(self.columns):
+            raise ValueError("need exactly one column list per column")
+        for j, rows in enumerate(self.columns):
+            if not rows or rows[0] != j:
+                raise ValueError(f"column {j} must start with its diagonal")
+            if list(rows) != sorted(set(rows)):
+                raise ValueError(f"column {j} rows must be sorted, unique")
+            if rows[-1] >= self.n:
+                raise ValueError(f"column {j} has a row out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Stored (lower-triangle) nonzeros, diagonal included."""
+        return sum(len(rows) for rows in self.columns)
+
+
+def bcsstk_like(n: int = 416, leaf: int = 24, band: int = 10,
+                separator_fraction: float = 0.14,
+                seed: int = 3) -> SparsePattern:
+    """Generate a stiffness-matrix-style pattern in dissection order.
+
+    Structural matrices like BCSSTK14 are factored after a fill-reducing
+    reordering, which gives the elimination tree the shape that drives the
+    paper's Cholesky results: bushy at the leaves (independent
+    substructures factor in parallel) with progressively fewer, larger
+    separator supernodes toward the root (the serial tail).  We build that
+    shape directly: the variable set is recursively bisected; each half is
+    eliminated before the separator that couples them.  Leaf domains carry
+    an element band; separator variables couple to random boundary
+    variables of both halves and to each other.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if leaf < 2:
+        raise ValueError("leaf must be >= 2")
+    if band < 1:
+        raise ValueError("band must be >= 1")
+    if not 0.0 < separator_fraction < 0.5:
+        raise ValueError("separator_fraction must be in (0, 0.5)")
+    rng = np.random.default_rng(seed)
+    edges: set = set()
+    order: List[int] = []
+
+    def dissect(ids: List[int]) -> List[int]:
+        """Return the elimination order of ``ids``; add their edges."""
+        if len(ids) <= leaf:
+            for idx, u in enumerate(ids):
+                for v in ids[idx + 1:idx + 1 + band]:
+                    if rng.uniform() < 0.8:
+                        edges.add((u, v))
+            return list(ids)
+        sep_count = max(2, int(len(ids) * separator_fraction))
+        interior = ids[:-sep_count]
+        separator = ids[-sep_count:]
+        half = len(interior) // 2
+        left, right = interior[:half], interior[half:]
+        ordered = dissect(left) + dissect(right)
+        # Separator variables form a band among themselves and couple to
+        # boundary variables of both halves.
+        for idx, u in enumerate(separator):
+            for v in separator[idx + 1:idx + 1 + band]:
+                edges.add((u, v))
+        for side in (left, right):
+            boundary = side[-min(3 * band, len(side)):]
+            for u in separator:
+                picks = rng.choice(len(boundary),
+                                   size=min(3, len(boundary)),
+                                   replace=False)
+                for pick in picks:
+                    edges.add((u, boundary[pick]))
+        return ordered + list(separator)
+
+    order = dissect(list(range(n)))
+    position = {var: pos for pos, var in enumerate(order)}
+    columns: List[set] = [{j} for j in range(n)]
+    for u, v in edges:
+        a, b = position[u], position[v]
+        low, high = (a, b) if a < b else (b, a)
+        columns[low].add(high)
+    return SparsePattern(
+        n=n,
+        columns=tuple(tuple(sorted(col)) for col in columns))
+
+
+def elimination_tree(pattern: SparsePattern) -> List[int]:
+    """Parent of each column in the elimination tree (-1 for roots).
+
+    Liu's algorithm with path compression: O(nnz * alpha).
+    """
+    n = pattern.n
+    parent = [-1] * n
+    ancestor = [-1] * n
+    # The algorithm must see entries in increasing *row* order, so build
+    # the row-wise adjacency of the lower triangle first.
+    rows: List[List[int]] = [[] for _ in range(n)]
+    for j in range(n):
+        for i in pattern.columns[j]:
+            if i > j:
+                rows[i].append(j)
+    for i in range(n):
+        for k in rows[i]:
+            # Walk from k up the current tree, compressing, until we
+            # fall off or meet i.
+            node = k
+            while ancestor[node] != -1 and ancestor[node] != i:
+                next_node = ancestor[node]
+                ancestor[node] = i
+                node = next_node
+            if ancestor[node] == -1:
+                ancestor[node] = i
+                parent[node] = i
+    return parent
+
+
+def symbolic_factor(
+        pattern: SparsePattern) -> Tuple[SparsePattern, List[int]]:
+    """Column structures of the Cholesky factor L, plus the etree.
+
+    Left-to-right merge: ``struct(L_j)`` is the union of ``struct(A_j)``
+    with ``struct(L_c) \\ {c}`` over the etree children ``c`` of ``j``.
+    Returns ``(L_pattern, parent)``.
+    """
+    n = pattern.n
+    parent = [-1] * n
+    children: List[List[int]] = [[] for _ in range(n)]
+    struct: List[Tuple[int, ...]] = [()] * n
+    for j in range(n):
+        rows = set(pattern.columns[j])
+        for child in children[j]:
+            rows.update(i for i in struct[child] if i > j)
+        rows.add(j)
+        ordered = tuple(sorted(rows))
+        struct[j] = ordered
+        if len(ordered) > 1:
+            parent[j] = ordered[1]   # first off-diagonal row
+            children[ordered[1]].append(j)
+    return SparsePattern(n=n, columns=tuple(struct)), parent
+
+
+@dataclass(frozen=True)
+class Supernode:
+    """A run of columns factored as one dense trapezoidal block.
+
+    ``first``/``last`` are the inclusive column range; ``rows`` is the
+    sorted union of the member columns' structures (relaxed supernodes
+    store a few structural zeros in exchange for wider blocks, exactly as
+    production supernodal codes do).  The first ``width`` rows are always
+    the supernode's own columns.
+    """
+
+    index: int
+    first: int
+    last: int
+    rows: Tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        """Number of columns in the supernode."""
+        return self.last - self.first + 1
+
+    @property
+    def height(self) -> int:
+        """Number of rows in the supernode's block."""
+        return len(self.rows)
+
+
+def supernodes(factor: SparsePattern, parent: Sequence[int],
+               max_width: int = 16, relax: int = 6) -> List[Supernode]:
+    """Partition columns into relaxed supernodes.
+
+    Column ``j+1`` joins ``j``'s run when it is ``j``'s etree parent, the
+    run is under ``max_width`` columns (wide supernodes are split so the
+    task queue has work to hand out, as the SPLASH code does with its
+    panel decomposition), and merging adds at most ``relax`` rows that
+    ``j``'s structure did not already have (``relax=0`` gives fundamental
+    supernodes).
+    """
+    nodes: List[Supernode] = []
+    n = factor.n
+    j = 0
+    while j < n:
+        first = j
+        rows = set(factor.columns[j])
+        while (j + 1 < n
+               and parent[j] == j + 1
+               and j - first + 1 < max_width):
+            extra = set(factor.columns[j + 1]) - rows
+            if len(extra) > relax:
+                break
+            j += 1
+            rows |= extra
+        nodes.append(Supernode(index=len(nodes), first=first, last=j,
+                               rows=tuple(sorted(rows))))
+        j += 1
+    return nodes

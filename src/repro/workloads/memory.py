@@ -1,0 +1,143 @@
+"""Simulated shared address space for instrumented applications.
+
+The SPLASH codes allocate their shared data with the ANL macro ``G_MALLOC``
+from a single shared heap.  Instrumented reimplementations need the same
+thing: stable byte addresses for every piece of shared data so the trace
+events they emit exercise the cache hierarchy the way the original
+programs' data layouts did.
+
+:class:`SharedHeap` is a bump allocator over a flat address space;
+:class:`Region` and :class:`ArrayRegion` hand out addresses for scalars and
+arrays of fixed-size records.  Nothing here stores data -- applications
+keep their actual state in ordinary Python objects and use these regions
+purely to name memory in the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["SharedHeap", "Region", "ArrayRegion", "HeapExhaustedError"]
+
+
+class HeapExhaustedError(MemoryError):
+    """The simulated heap ran out of address space."""
+
+
+class Region:
+    """A contiguous allocation of ``size`` bytes at ``base``."""
+
+    __slots__ = ("name", "base", "size")
+
+    def __init__(self, name: str, base: int, size: int):
+        self.name = name
+        self.base = base
+        self.size = size
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def addr(self, offset: int = 0) -> int:
+        """Byte address at ``offset`` into the region (bounds checked)."""
+        if not 0 <= offset < self.size:
+            raise IndexError(
+                f"offset {offset} outside region {self.name!r} "
+                f"of {self.size} bytes")
+        return self.base + offset
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the region."""
+        return self.base <= addr < self.end
+
+    def __repr__(self) -> str:
+        return (f"Region({self.name!r}, base={self.base:#x}, "
+                f"size={self.size})")
+
+
+class ArrayRegion(Region):
+    """An array of ``count`` records of ``record_size`` bytes each."""
+
+    __slots__ = ("count", "record_size")
+
+    def __init__(self, name: str, base: int, count: int, record_size: int):
+        super().__init__(name, base, count * record_size)
+        self.count = count
+        self.record_size = record_size
+
+    def record(self, index: int, field_offset: int = 0) -> int:
+        """Address of field ``field_offset`` of record ``index``."""
+        if not 0 <= index < self.count:
+            raise IndexError(
+                f"record {index} outside array {self.name!r} "
+                f"of {self.count} records")
+        if not 0 <= field_offset < self.record_size:
+            raise IndexError(
+                f"field offset {field_offset} outside {self.record_size}-"
+                f"byte records of {self.name!r}")
+        return self.base + index * self.record_size + field_offset
+
+
+class SharedHeap:
+    """Bump allocator over a simulated shared address space.
+
+    Allocations are aligned to ``alignment`` bytes (default: one 16-byte
+    cache line, so distinct allocations never falsely share a line unless
+    an application asks for smaller alignment explicitly).
+    """
+
+    def __init__(self, base: int = 0x1000_0000,
+                 limit: int = 0x8000_0000, alignment: int = 16):
+        if alignment < 1 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two")
+        if limit <= base:
+            raise ValueError("limit must exceed base")
+        self._base = base
+        self._limit = limit
+        self._next = base
+        self._alignment = alignment
+        self._regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, size: int,
+              alignment: Optional[int] = None) -> Region:
+        """Allocate ``size`` bytes; names must be unique per heap."""
+        base = self._place(name, size, alignment)
+        region = Region(name, base, size)
+        self._regions[name] = region
+        return region
+
+    def alloc_array(self, name: str, count: int, record_size: int,
+                    alignment: Optional[int] = None) -> ArrayRegion:
+        """Allocate an array of ``count`` x ``record_size`` bytes."""
+        if count < 1 or record_size < 1:
+            raise ValueError("count and record_size must be positive")
+        base = self._place(name, count * record_size, alignment)
+        region = ArrayRegion(name, base, count, record_size)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up a previous allocation by name."""
+        return self._regions[name]
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total address space consumed so far (including padding)."""
+        return self._next - self._base
+
+    def _place(self, name: str, size: int,
+               alignment: Optional[int]) -> int:
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size < 1:
+            raise ValueError("size must be positive")
+        align = self._alignment if alignment is None else alignment
+        if align < 1 or align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        base = (self._next + align - 1) & ~(align - 1)
+        if base + size > self._limit:
+            raise HeapExhaustedError(
+                f"cannot allocate {size} bytes for {name!r}")
+        self._next = base + size
+        return base

@@ -1,0 +1,52 @@
+"""ANL-macro style synchronization naming.
+
+The SPLASH applications synchronize with the Argonne National Laboratory
+macros (LOCKDEC/BARDEC/GSDEC...).  In this reproduction, locks, barriers
+and task queues are identified by small integers that the interleaver
+resolves; :class:`SyncNamespace` hands out those identifiers and remembers
+their names so traces stay debuggable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SyncNamespace"]
+
+
+class SyncNamespace:
+    """Allocator for lock, barrier and task-queue identifiers."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, int] = {}
+        self._barriers: Dict[str, int] = {}
+        self._queues: Dict[str, int] = {}
+
+    def lock(self, name: str) -> int:
+        """Id of the lock called ``name`` (allocated on first use)."""
+        return self._get(self._locks, name)
+
+    def barrier(self, name: str) -> int:
+        """Id of the barrier called ``name`` (allocated on first use)."""
+        return self._get(self._barriers, name)
+
+    def queue(self, name: str) -> int:
+        """Id of the task queue called ``name`` (allocated on first use)."""
+        return self._get(self._queues, name)
+
+    def lock_name(self, lock_id: int) -> str:
+        """Reverse lookup for debugging."""
+        return self._reverse(self._locks, lock_id)
+
+    @staticmethod
+    def _get(table: Dict[str, int], name: str) -> int:
+        if name not in table:
+            table[name] = len(table)
+        return table[name]
+
+    @staticmethod
+    def _reverse(table: Dict[str, int], wanted: int) -> str:
+        for name, ident in table.items():
+            if ident == wanted:
+                return name
+        raise KeyError(wanted)

@@ -1,0 +1,83 @@
+"""Unit and property tests for the snoopy bus model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bus import SnoopyBus
+
+
+class TestBus:
+    def test_idle_bus_grants_immediately(self):
+        bus = SnoopyBus()
+        tx = bus.acquire(now=10, occupancy=20, latency=100)
+        assert tx.start == 10
+        assert tx.wait == 0
+        assert tx.done == 110
+
+    def test_back_to_back_transactions_queue(self):
+        bus = SnoopyBus()
+        first = bus.acquire(0, 20, 100)
+        second = bus.acquire(5, 20, 100)
+        assert first.start == 0
+        assert second.start == 20  # waits for first's occupancy
+        assert second.wait == 15
+        assert second.done == 120
+
+    def test_gap_leaves_bus_idle(self):
+        bus = SnoopyBus()
+        bus.acquire(0, 20, 100)
+        tx = bus.acquire(50, 20, 100)
+        assert tx.wait == 0
+        assert tx.start == 50
+
+    def test_zero_occupancy_transaction_does_not_hold_bus(self):
+        bus = SnoopyBus()
+        bus.acquire(0, 0, 100)
+        tx = bus.acquire(0, 20, 100)
+        assert tx.wait == 0
+
+    def test_rejects_negative_parameters(self):
+        bus = SnoopyBus()
+        with pytest.raises(ValueError):
+            bus.acquire(0, -1, 100)
+        with pytest.raises(ValueError):
+            bus.acquire(0, 1, -1)
+
+    def test_counters(self):
+        bus = SnoopyBus()
+        bus.acquire(0, 20, 100)
+        bus.acquire(0, 4, 4)
+        assert bus.transactions == 2
+        assert bus.busy_cycles == 24
+
+    def test_utilization(self):
+        bus = SnoopyBus()
+        bus.acquire(0, 50, 100)
+        assert bus.utilization(100) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+
+
+class TestBusProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 50)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=200)
+    def test_occupancies_never_overlap(self, requests):
+        """For monotone request times, grants are FCFS and occupancy
+        intervals never overlap."""
+        bus = SnoopyBus()
+        requests.sort(key=lambda pair: pair[0])
+        previous_end = 0
+        for now, occupancy in requests:
+            tx = bus.acquire(now, occupancy, 100)
+            assert tx.start >= now
+            assert tx.start >= previous_end
+            previous_end = tx.start + occupancy
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+                    min_size=1, max_size=50))
+    def test_done_time_is_start_plus_latency(self, requests):
+        bus = SnoopyBus()
+        for now, occupancy in requests:
+            tx = bus.acquire(now, occupancy, 100)
+            assert tx.done == tx.start + 100
+            assert tx.wait == tx.start - now

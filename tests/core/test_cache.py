@@ -1,0 +1,127 @@
+"""Unit and property tests for the direct-mapped MSI tag array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import (INVALID, MODIFIED, SHARED, DirectMappedArray)
+
+
+class TestBasics:
+    def test_empty_cache_misses_everything(self):
+        array = DirectMappedArray(64)
+        assert array.state(0) == INVALID
+        assert array.state(63) == INVALID
+        assert array.state(64) == INVALID
+        assert array.valid_count() == 0
+
+    def test_install_then_hit(self):
+        array = DirectMappedArray(64)
+        assert array.install(5, SHARED) is None
+        assert array.state(5) == SHARED
+        assert array.contains(5)
+
+    def test_rejects_invalid_install_state(self):
+        array = DirectMappedArray(64)
+        with pytest.raises(ValueError):
+            array.install(5, INVALID)
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ValueError):
+            DirectMappedArray(0)
+
+    def test_conflicting_line_evicts(self):
+        array = DirectMappedArray(64)
+        array.install(5, MODIFIED)
+        victim = array.install(69, SHARED)  # 69 = 5 + 64: same index
+        assert victim == (5, MODIFIED)
+        assert array.state(5) == INVALID
+        assert array.state(69) == SHARED
+
+    def test_reinstall_same_line_updates_state_without_victim(self):
+        array = DirectMappedArray(64)
+        array.install(5, SHARED)
+        assert array.install(5, MODIFIED) is None
+        assert array.state(5) == MODIFIED
+
+    def test_invalidate_resident(self):
+        array = DirectMappedArray(64)
+        array.install(5, SHARED)
+        assert array.invalidate(5)
+        assert array.state(5) == INVALID
+
+    def test_invalidate_absent_is_noop(self):
+        array = DirectMappedArray(64)
+        assert not array.invalidate(5)
+
+    def test_invalidate_checks_tag_not_just_index(self):
+        array = DirectMappedArray(64)
+        array.install(5, SHARED)
+        assert not array.invalidate(69)  # same index, different tag
+        assert array.state(5) == SHARED
+
+    def test_set_state_requires_residency(self):
+        array = DirectMappedArray(64)
+        with pytest.raises(KeyError):
+            array.set_state(5, SHARED)
+
+    def test_set_state_transitions(self):
+        array = DirectMappedArray(64)
+        array.install(5, SHARED)
+        array.set_state(5, MODIFIED)
+        assert array.state(5) == MODIFIED
+        array.set_state(5, INVALID)
+        assert array.state(5) == INVALID
+
+    def test_set_state_rejects_unknown_state(self):
+        array = DirectMappedArray(64)
+        array.install(5, SHARED)
+        with pytest.raises(ValueError):
+            array.set_state(5, 7)
+
+    def test_resident_lines_reports_global_line_numbers(self):
+        array = DirectMappedArray(64)
+        array.install(69, SHARED)
+        array.install(3, MODIFIED)
+        assert sorted(array.resident_lines()) == [(3, MODIFIED), (69, SHARED)]
+
+
+@st.composite
+def _operations(draw):
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["install_s", "install_m", "invalidate"]),
+                  st.integers(min_value=0, max_value=255)),
+        min_size=1, max_size=200))
+    return ops
+
+
+class TestProperties:
+    @given(_operations())
+    @settings(max_examples=200)
+    def test_direct_mapping_invariant(self, ops):
+        """After any operation sequence: each resident line sits at its own
+        index, at most one line per index, and valid_count matches."""
+        array = DirectMappedArray(32)
+        shadow = {}  # index -> (line, state)
+        for op, line in ops:
+            if op == "install_s":
+                array.install(line, SHARED)
+                shadow[line % 32] = (line, SHARED)
+            elif op == "install_m":
+                array.install(line, MODIFIED)
+                shadow[line % 32] = (line, MODIFIED)
+            else:
+                array.invalidate(line)
+                held = shadow.get(line % 32)
+                if held and held[0] == line:
+                    del shadow[line % 32]
+        resident = dict()
+        for line, state in array.resident_lines():
+            assert array.index_of(line) not in resident
+            resident[array.index_of(line)] = (line, state)
+        assert resident == shadow
+        assert array.valid_count() == len(shadow)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_index_tag_roundtrip(self, line):
+        array = DirectMappedArray(128)
+        assert array.tag_of(line) * 128 + array.index_of(line) == line

@@ -1,0 +1,76 @@
+"""Unit tests for the cluster container and processor accounting."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import KB, SystemConfig
+from repro.core.processor import ProcessorState
+
+
+class TestCluster:
+    def test_wires_the_right_component_counts(self):
+        config = SystemConfig(clusters=2, processors_per_cluster=4)
+        cluster = Cluster(config, 1)
+        assert len(cluster.processors) == 4
+        assert len(cluster.icaches) == 4
+        assert cluster.scc.cluster_id == 1
+
+    def test_processor_ids_are_machine_global(self):
+        config = SystemConfig(clusters=2, processors_per_cluster=4)
+        cluster = Cluster(config, 1)
+        assert list(cluster.processor_ids) == [4, 5, 6, 7]
+        assert [proc.proc_id for proc in cluster.processors] == [4, 5, 6, 7]
+
+    def test_rejects_out_of_range_cluster(self):
+        config = SystemConfig(clusters=2)
+        with pytest.raises(ValueError):
+            Cluster(config, 2)
+
+
+class TestProcessorState:
+    def test_compute_accounting(self):
+        proc = ProcessorState(0, 0)
+        proc.account_compute(100)
+        assert proc.stats.busy_cycles == 100
+        assert proc.stats.instructions == 100
+
+    def test_reference_splits_issue_and_stall(self):
+        proc = ProcessorState(0, 0)
+        proc.account_reference(issued=10, complete=115)
+        assert proc.stats.busy_cycles == 1
+        assert proc.stats.memory_stall_cycles == 104
+        assert proc.stats.references == 1
+        assert proc.finish_time == 115
+
+    def test_single_cycle_reference(self):
+        proc = ProcessorState(0, 0)
+        proc.account_reference(issued=10, complete=11)
+        assert proc.stats.memory_stall_cycles == 0
+
+    def test_rejects_impossible_timing(self):
+        proc = ProcessorState(0, 0)
+        with pytest.raises(ValueError):
+            proc.account_reference(issued=10, complete=10)
+        with pytest.raises(ValueError):
+            proc.account_compute(-1)
+        with pytest.raises(ValueError):
+            proc.account_sync_stall(-1)
+
+    def test_ifetch_accounting(self):
+        proc = ProcessorState(0, 0)
+        proc.account_ifetch(count=8, stall=100)
+        assert proc.stats.instructions == 8
+        assert proc.stats.busy_cycles == 8
+        assert proc.stats.icache_stall_cycles == 100
+
+    def test_total_cycles_sums_all_categories(self):
+        proc = ProcessorState(0, 0)
+        proc.account_compute(10)
+        proc.account_reference(0, 5)
+        proc.account_sync_stall(7)
+        proc.account_ifetch(4, 3)
+        stats = proc.stats
+        assert stats.total_cycles == (stats.busy_cycles
+                                      + stats.memory_stall_cycles
+                                      + stats.sync_stall_cycles
+                                      + stats.icache_stall_cycles)

@@ -1,0 +1,135 @@
+"""Tests for the DASH-style directory coherence transport."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import INVALID, MODIFIED, SHARED
+from repro.core.config import KB, SystemConfig
+from repro.core.directory import DirectoryController
+from repro.core.scc import SharedClusterCache
+from repro.core.system import MultiprocessorSystem
+from repro.simulation import run_simulation
+from repro.workloads import BarnesHut
+
+
+def make_controller(clusters=4, **overrides):
+    config = SystemConfig(clusters=clusters, scc_size=4 * KB,
+                          inter_cluster="directory", **overrides)
+    sccs = [SharedClusterCache(config, c) for c in range(clusters)]
+    return config, sccs, DirectoryController(config, sccs)
+
+
+class TestReads:
+    def test_clean_miss_is_two_hop(self):
+        config, sccs, ctrl = make_controller()
+        outcome = ctrl.access(0, 7, False, 0)
+        assert not outcome.hit
+        assert outcome.complete == config.memory_latency + 1
+        assert sccs[0].array.state(7) == SHARED
+        assert ctrl.entries[7].sharers == {0}
+
+    def test_dirty_remote_miss_is_three_hop(self):
+        config, sccs, ctrl = make_controller()
+        ctrl.access(1, 7, True, 0)
+        outcome = ctrl.access(0, 7, False, 500)
+        assert outcome.complete == 500 + config.remote_dirty_latency + 1
+        assert sccs[1].array.state(7) == SHARED
+        assert ctrl.entries[7].sharers == {0, 1}
+        assert ctrl.entries[7].owner is None
+        assert sccs[0].stats.interventions == 1
+
+    def test_hits_stay_local(self):
+        _, _, ctrl = make_controller()
+        ctrl.access(0, 7, False, 0)
+        messages_before = ctrl.messages
+        outcome = ctrl.access(0, 7, False, 500)
+        assert outcome.hit
+        assert ctrl.messages == messages_before
+
+
+class TestWrites:
+    def test_write_miss_takes_ownership(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(2, 7, True, 0)
+        assert sccs[2].array.state(7) == MODIFIED
+        assert ctrl.entries[7].owner == 2
+        assert ctrl.entries[7].sharers == {2}
+
+    def test_upgrade_invalidates_exactly_the_sharers(self):
+        _, sccs, ctrl = make_controller()
+        for cluster in (0, 1, 2):
+            ctrl.access(cluster, 7, False, cluster * 200)
+        outcome = ctrl.access(0, 7, True, 1000)
+        assert outcome.invalidations == 2
+        assert sccs[1].array.state(7) == INVALID
+        assert sccs[2].array.state(7) == INVALID
+        assert ctrl.entries[7].owner == 0
+
+    def test_write_to_remote_dirty_line_steals_ownership(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(1, 7, True, 0)
+        ctrl.access(0, 7, True, 500)
+        assert sccs[1].array.state(7) == INVALID
+        assert sccs[0].array.state(7) == MODIFIED
+        assert ctrl.entries[7].owner == 0
+
+
+class TestBankContention:
+    def test_same_home_bank_serializes(self):
+        config, _, ctrl = make_controller(directory_banks=1)
+        first = ctrl.access(0, 1, False, 0)
+        second = ctrl.access(1, 2, False, 0)
+        assert second.bus_wait == config.directory_occupancy
+
+    def test_different_banks_proceed_in_parallel(self):
+        """The point of the directory: no machine-wide serialization."""
+        _, _, ctrl = make_controller(directory_banks=8)
+        first = ctrl.access(0, 1, False, 0)
+        second = ctrl.access(1, 2, False, 0)
+        assert second.bus_wait == 0
+        assert second.complete == first.complete
+
+
+class TestEviction:
+    def test_replacement_hint_removes_sharer(self):
+        config, sccs, ctrl = make_controller()
+        lines = config.scc_lines
+        ctrl.access(0, 3, False, 0)
+        ctrl.access(0, 3 + lines, False, 500)   # evicts line 3
+        assert 0 not in ctrl.entries[3].sharers
+
+    def test_dirty_eviction_clears_ownership(self):
+        config, sccs, ctrl = make_controller()
+        lines = config.scc_lines
+        ctrl.access(0, 3, True, 0)
+        ctrl.access(0, 3 + lines, False, 500)
+        assert ctrl.entries[3].owner is None
+        assert sccs[0].stats.writebacks == 1
+
+
+class TestConsistencyProperty:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 500),
+                              st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_directory_mirrors_the_caches(self, accesses):
+        _, _, ctrl = make_controller()
+        time = 0
+        for cluster, line, is_write in accesses:
+            ctrl.access(cluster, line, is_write, time)
+            time += 7
+        ctrl.check_consistency()
+
+
+class TestEndToEnd:
+    def test_real_workload_stays_consistent(self):
+        config = SystemConfig.paper_parallel(2, 4 * KB).with_updates(
+            inter_cluster="directory")
+        result = run_simulation(config, BarnesHut(n_bodies=64, steps=1),
+                                check_invariants=True)
+        assert result.execution_time > 0
+
+    def test_system_builds_the_right_controller(self):
+        config = SystemConfig(inter_cluster="directory")
+        system = MultiprocessorSystem(config)
+        assert isinstance(system.coherence, DirectoryController)

@@ -1,0 +1,45 @@
+"""Unit tests for the per-processor instruction cache."""
+
+import pytest
+
+from repro.core.config import KB, SystemConfig
+from repro.core.icache import INSTRUCTION_BYTES, InstructionCache
+
+
+def make_icache(size=16 * KB, line=32):
+    config = SystemConfig(icache_size=size, icache_line_size=line)
+    return InstructionCache(config)
+
+
+class TestInstructionCache:
+    def test_cold_fetch_misses_per_line(self):
+        icache = make_icache()
+        # 16 instructions = 64 bytes = 2 lines of 32 B.
+        assert icache.fetch(0, 16) == 2
+        assert icache.misses == 2
+        assert icache.fetch_lines == 2
+
+    def test_warm_fetch_hits(self):
+        icache = make_icache()
+        icache.fetch(0, 16)
+        assert icache.fetch(0, 16) == 0
+
+    def test_straddling_fetch_counts_both_lines(self):
+        icache = make_icache()
+        # 4 instructions starting 8 bytes before a line boundary.
+        assert icache.fetch(24, 4) == 2
+
+    def test_capacity_eviction(self):
+        icache = make_icache(size=1 * KB, line=32)   # 32 lines
+        for block in range(64):                      # touch 64 lines
+            icache.fetch(block * 32, 8)
+        # Re-fetching the first line misses again: it was evicted.
+        assert icache.fetch(0, 8) == 1
+
+    def test_rejects_zero_count(self):
+        icache = make_icache()
+        with pytest.raises(ValueError):
+            icache.fetch(0, 0)
+
+    def test_instruction_size_constant(self):
+        assert INSTRUCTION_BYTES == 4

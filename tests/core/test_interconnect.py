@@ -1,0 +1,108 @@
+"""Unit and property tests for bank arbitration and write buffers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interconnect import BankInterconnect
+
+
+class TestBankArbitration:
+    def test_free_bank_starts_immediately(self):
+        icn = BankInterconnect(num_banks=8)
+        start, wait = icn.access(3, now=100)
+        assert (start, wait) == (100, 0)
+
+    def test_same_bank_same_cycle_serializes(self):
+        """Two processors hitting one bank in the same cycle: the second
+        waits one bank cycle (Section 2.2.2's bank contention)."""
+        icn = BankInterconnect(num_banks=8)
+        first_start, first_wait = icn.access(0, now=100)
+        second_start, second_wait = icn.access(0, now=100)
+        assert (first_start, first_wait) == (100, 0)
+        assert (second_start, second_wait) == (101, 1)
+
+    def test_different_banks_do_not_conflict(self):
+        icn = BankInterconnect(num_banks=8)
+        icn.access(0, now=100)
+        start, wait = icn.access(1, now=100)
+        assert wait == 0
+        assert start == 100
+
+    def test_conflict_cycles_accumulate(self):
+        icn = BankInterconnect(num_banks=2)
+        for _ in range(4):
+            icn.access(0, now=0)
+        assert icn.conflict_cycles == 0 + 1 + 2 + 3
+
+    def test_slow_banks(self):
+        icn = BankInterconnect(num_banks=1, bank_cycle_time=3)
+        icn.access(0, now=0)
+        start, wait = icn.access(0, now=0)
+        assert (start, wait) == (3, 3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BankInterconnect(num_banks=0)
+        with pytest.raises(ValueError):
+            BankInterconnect(num_banks=1, bank_cycle_time=0)
+        with pytest.raises(ValueError):
+            BankInterconnect(num_banks=1, write_buffer_depth=0)
+
+
+class TestWriteBuffer:
+    def test_writes_below_depth_do_not_stall(self):
+        icn = BankInterconnect(num_banks=1, write_buffer_depth=2)
+        assert icn.reserve_write_slot(0, now=0, retire_time=100) == 0
+        assert icn.reserve_write_slot(0, now=0, retire_time=100) == 0
+        assert icn.pending_writes(0, now=0) == 2
+
+    def test_full_buffer_stalls_until_oldest_retires(self):
+        icn = BankInterconnect(num_banks=1, write_buffer_depth=2)
+        icn.reserve_write_slot(0, now=0, retire_time=50)
+        icn.reserve_write_slot(0, now=0, retire_time=100)
+        stall = icn.reserve_write_slot(0, now=10, retire_time=150)
+        assert stall == 40  # waits for the retire at 50
+        assert icn.write_stall_cycles == 40
+
+    def test_retired_entries_free_slots(self):
+        icn = BankInterconnect(num_banks=1, write_buffer_depth=1)
+        icn.reserve_write_slot(0, now=0, retire_time=50)
+        assert icn.reserve_write_slot(0, now=60, retire_time=70) == 0
+
+    def test_hit_writes_retire_immediately(self):
+        icn = BankInterconnect(num_banks=1, write_buffer_depth=1)
+        icn.reserve_write_slot(0, now=0, retire_time=1)
+        assert icn.reserve_write_slot(0, now=5, retire_time=6) == 0
+
+    def test_buffers_are_per_bank(self):
+        icn = BankInterconnect(num_banks=2, write_buffer_depth=1)
+        icn.reserve_write_slot(0, now=0, retire_time=1000)
+        assert icn.reserve_write_slot(1, now=0, retire_time=1000) == 0
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 500)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=150)
+    def test_bank_occupancy_never_overlaps(self, accesses):
+        """Per bank, access start times are spaced >= bank_cycle_time
+        apart, for any (bank, time) request sequence with monotone time."""
+        icn = BankInterconnect(num_banks=4, bank_cycle_time=2)
+        accesses.sort(key=lambda pair: pair[1])
+        last_start = {}
+        for bank, now in accesses:
+            start, wait = icn.access(bank, now)
+            assert start >= now
+            assert wait == start - now
+            if bank in last_start:
+                assert start - last_start[bank] >= 2
+            last_start[bank] = start
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=60))
+    def test_write_buffer_never_exceeds_depth(self, retire_offsets):
+        icn = BankInterconnect(num_banks=1, write_buffer_depth=3)
+        now = 0
+        for offset in retire_offsets:
+            stall = icn.reserve_write_slot(0, now, now + offset)
+            now += stall + 1
+            assert icn.pending_writes(0, now) <= 3

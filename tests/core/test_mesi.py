@@ -1,0 +1,101 @@
+"""Tests for the MESI protocol option."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bus import SnoopyBus
+from repro.core.cache import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.core.coherence import CoherenceController
+from repro.core.config import KB, SystemConfig
+from repro.core.scc import SharedClusterCache
+from repro.simulation import run_simulation
+from repro.workloads import BarnesHut
+
+
+def make_controller(protocol="mesi", clusters=4):
+    config = SystemConfig(clusters=clusters, scc_size=4 * KB,
+                          protocol=protocol)
+    sccs = [SharedClusterCache(config, c) for c in range(clusters)]
+    return config, sccs, CoherenceController(config, sccs, SnoopyBus())
+
+
+class TestMesiTransitions:
+    def test_lonely_read_installs_exclusive(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, False, 0)
+        assert sccs[0].array.state(7) == EXCLUSIVE
+
+    def test_second_reader_downgrades_to_shared(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, False, 0)
+        ctrl.access(1, 7, False, 500)
+        assert sccs[0].array.state(7) == SHARED
+        assert sccs[1].array.state(7) == SHARED
+
+    def test_exclusive_write_is_a_silent_upgrade(self):
+        """The MESI payoff: no bus transaction, no upgrade counted."""
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, False, 0)
+        bus_before = ctrl.bus.transactions
+        outcome = ctrl.access(0, 7, True, 500)
+        assert outcome.hit
+        assert sccs[0].array.state(7) == MODIFIED
+        assert ctrl.bus.transactions == bus_before
+        assert sccs[0].stats.upgrades == 0
+
+    def test_shared_write_still_broadcasts(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, False, 0)
+        ctrl.access(1, 7, False, 500)     # both now SHARED
+        ctrl.access(0, 7, True, 1000)
+        assert sccs[0].stats.upgrades == 1
+        assert sccs[1].array.state(7) == INVALID
+
+    def test_read_miss_to_modified_line_downgrades(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, True, 0)        # write miss -> MODIFIED
+        ctrl.access(1, 7, False, 500)
+        assert sccs[0].array.state(7) == SHARED
+        assert sccs[1].stats.interventions == 1
+
+    def test_msi_never_produces_exclusive(self):
+        _, sccs, ctrl = make_controller(protocol="msi")
+        ctrl.access(0, 7, False, 0)
+        assert sccs[0].array.state(7) == SHARED
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 400),
+                              st.booleans()),
+                    min_size=1, max_size=250))
+    @settings(max_examples=80, deadline=None)
+    def test_exclusivity_invariant_holds_under_mesi(self, accesses):
+        """EXCLUSIVE and MODIFIED lines have no other copy anywhere."""
+        _, _, ctrl = make_controller()
+        time = 0
+        for cluster, line, is_write in accesses:
+            ctrl.access(cluster, line, is_write, time)
+            time += 7
+        assert ctrl.check_exclusivity() is None
+
+
+class TestMesiEndToEnd:
+    def test_mesi_reduces_upgrade_traffic(self):
+        """Private (unshared) writes stop broadcasting under MESI."""
+        app = BarnesHut(n_bodies=96, steps=2)
+        msi = run_simulation(
+            SystemConfig.paper_parallel(2, 8 * KB), app)
+        mesi = run_simulation(
+            SystemConfig.paper_parallel(2, 8 * KB).with_updates(
+                protocol="mesi"), app)
+        assert (mesi.stats.total_scc.upgrades
+                < msi.stats.total_scc.upgrades)
+        # Same work either way.
+        assert mesi.stats.total_scc.reads == msi.stats.total_scc.reads
+
+    def test_mesi_never_slower(self):
+        app = BarnesHut(n_bodies=96, steps=2)
+        msi = run_simulation(
+            SystemConfig.paper_parallel(2, 8 * KB), app)
+        mesi = run_simulation(
+            SystemConfig.paper_parallel(2, 8 * KB).with_updates(
+                protocol="mesi"), app)
+        assert mesi.execution_time <= msi.execution_time * 1.02

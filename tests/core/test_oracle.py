@@ -1,0 +1,81 @@
+"""Oracle cross-check: the full simulator, reduced to one processor and
+one cluster, must behave exactly like a classic direct-mapped cache
+simulation (DESIGN.md's promised invariant).
+
+The reference model is an independent ~20-line simulator; any
+divergence in hit/miss classification between it and the production
+coherence machinery is a bug in one of them.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import KB, SystemConfig
+from repro.core.system import MultiprocessorSystem
+
+
+class ReferenceCache:
+    """Textbook direct-mapped write-allocate cache."""
+
+    def __init__(self, num_lines):
+        self.num_lines = num_lines
+        self.tags = {}
+        self.reads = self.read_misses = 0
+        self.writes = self.write_misses = 0
+
+    def access(self, line, is_write):
+        index = line % self.num_lines
+        hit = self.tags.get(index) == line
+        if is_write:
+            self.writes += 1
+            self.write_misses += 0 if hit else 1
+        else:
+            self.reads += 1
+            self.read_misses += 0 if hit else 1
+        self.tags[index] = line
+        return hit
+
+
+def drive_both(accesses, scc_size=1 * KB):
+    config = SystemConfig(clusters=1, processors_per_cluster=1,
+                          scc_size=scc_size)
+    system = MultiprocessorSystem(config)
+    reference = ReferenceCache(config.scc_lines)
+    now = 0
+    for line, is_write in accesses:
+        system.data_access(0, line * config.line_size, is_write, now)
+        reference.access(line, is_write)
+        now += 200   # far apart: no overlapping fills
+    return system.clusters[0].scc.stats, reference
+
+
+class TestOracle:
+    def test_simple_sequence(self):
+        stats, reference = drive_both(
+            [(0, False), (0, False), (64, False), (0, False),
+             (5, True), (5, True)])
+        assert stats.read_misses == reference.read_misses
+        assert stats.write_misses == reference.write_misses
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                    min_size=1, max_size=400))
+    @settings(max_examples=120, deadline=None)
+    def test_any_single_processor_trace_matches_the_oracle(self, accesses):
+        stats, reference = drive_both(accesses)
+        assert stats.reads == reference.reads
+        assert stats.writes == reference.writes
+        assert stats.read_misses == reference.read_misses
+        assert stats.write_misses == reference.write_misses
+        # And with a single cluster there is never coherence traffic
+        # (upgrades may still occur locally: SHARED -> MODIFIED on a
+        # write hit, but they invalidate nothing).
+        assert stats.invalidations_received == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 127), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_single_cluster_never_invalidates(self, accesses):
+        stats, _ = drive_both(accesses, scc_size=1 * KB)
+        assert stats.invalidations_received == 0
+        assert stats.invalidations_sent == 0
+        assert stats.interventions == 0

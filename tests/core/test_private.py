@@ -1,0 +1,155 @@
+"""Tests for the private-cache cluster organization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import INVALID, MODIFIED, SHARED
+from repro.core.config import KB, SystemConfig
+from repro.core.private import PrivateClusterSystem
+from repro.simulation import build_system, run_simulation
+from repro.workloads import BarnesHut
+
+
+def private_config(**overrides):
+    defaults = dict(clusters=2, processors_per_cluster=2,
+                    scc_size=8 * KB, cluster_organization="private")
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestConstruction:
+    def test_build_system_dispatch(self):
+        assert isinstance(build_system(private_config()),
+                          PrivateClusterSystem)
+
+    def test_rejects_shared_config(self):
+        with pytest.raises(ValueError):
+            PrivateClusterSystem(SystemConfig())
+
+    def test_sram_budget_split_evenly(self):
+        config = private_config(processors_per_cluster=4,
+                                scc_size=32 * KB)
+        assert config.private_cache_size == 8 * KB
+        system = PrivateClusterSystem(config)
+        assert system.caches[0].array.num_lines == 8 * KB // 16
+
+
+class TestProtocol:
+    def test_cold_read_costs_memory_latency(self):
+        system = PrivateClusterSystem(private_config())
+        complete = system.data_access(0, 0x1000, False, 0)
+        # intra snoop finds nothing; global fetch 100 cycles.
+        assert complete == 101
+
+    def test_sibling_supplies_faster_than_memory(self):
+        """The intra-cluster bus's point: cache-to-cache transfer
+        between cluster-mates beats the 100-cycle global fetch."""
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        system.data_access(0, 0x1000, False, 0)
+        complete = system.data_access(1, 0x1000, False, 1000)
+        assert complete - 1000 <= config.intra_transfer_latency + 2
+        assert system.caches[1].array.state(
+            config.line_of(0x1000)) == SHARED
+
+    def test_remote_cluster_still_pays_full_latency(self):
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        system.data_access(0, 0x1000, False, 0)
+        complete = system.data_access(2, 0x1000, False, 1000)  # cluster 1
+        assert complete - 1000 >= config.memory_latency
+
+    def test_sibling_write_invalidates_within_cluster(self):
+        """The intra-cluster coherence traffic the shared SCC avoids."""
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        line = config.line_of(0x1000)
+        system.data_access(0, 0x1000, False, 0)
+        system.data_access(1, 0x1000, False, 200)
+        system.data_access(0, 0x1000, True, 400)   # upgrade
+        assert system.caches[0].array.state(line) == MODIFIED
+        assert system.caches[1].array.state(line) == INVALID
+        assert system.intra_invalidations == 1
+
+    def test_modified_sibling_downgrades_on_read(self):
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        line = config.line_of(0x40)
+        system.data_access(0, 0x40, True, 0)
+        system.data_access(1, 0x40, False, 500)
+        assert system.caches[0].array.state(line) == SHARED
+        assert system.caches[1].stats.interventions == 1
+
+    def test_write_miss_invalidates_everywhere(self):
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        line = config.line_of(0x80)
+        for proc in (0, 1, 2, 3):
+            system.data_access(proc, 0x80, False, proc * 200)
+        system.data_access(3, 0x80, True, 2000)
+        for proc in (0, 1, 2):
+            assert system.caches[proc].array.state(line) == INVALID
+        assert system.caches[3].array.state(line) == MODIFIED
+
+    def test_writes_do_not_stall(self):
+        system = PrivateClusterSystem(private_config())
+        assert system.data_access(0, 0x2000, True, 0) == 1
+
+    def test_reread_after_invalidation_is_coherence_miss(self):
+        config = private_config()
+        system = PrivateClusterSystem(config)
+        system.data_access(0, 0x40, False, 0)
+        system.data_access(1, 0x40, True, 500)
+        system.data_access(0, 0x40, False, 1000)
+        assert system.caches[0].stats.coherence_read_misses == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 300),
+                              st.booleans()),
+                    min_size=1, max_size=250))
+    @settings(max_examples=60, deadline=None)
+    def test_modified_exclusivity_across_private_caches(self, accesses):
+        system = PrivateClusterSystem(private_config(scc_size=4 * KB))
+        time = 0
+        for proc, line, is_write in accesses:
+            system.data_access(proc, line * 16, is_write, time)
+            time += 5
+        system.check_invariants()
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 300),
+                              st.booleans()),
+                    min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_invalidations_balance(self, accesses):
+        system = PrivateClusterSystem(private_config(scc_size=4 * KB))
+        time = 0
+        for proc, line, is_write in accesses:
+            system.data_access(proc, line * 16, is_write, time)
+            time += 5
+        stats = system.stats(time)
+        sent = sum(s.invalidations_sent for s in stats.scc)
+        received = sum(s.invalidations_received for s in stats.scc)
+        assert sent == received
+        assert system.intra_invalidations <= received
+
+
+class TestEndToEnd:
+    def test_runs_a_real_workload(self):
+        config = SystemConfig.paper_parallel(2, 4 * KB).with_updates(
+            cluster_organization="private")
+        result = run_simulation(config, BarnesHut(n_bodies=64, steps=1))
+        assert result.execution_time > 0
+        assert result.stats.total_scc.reads > 0
+
+    def test_shared_beats_private_on_shared_data(self):
+        """The paper's Section 2.1 argument, end to end."""
+        app = BarnesHut(n_bodies=96, steps=2)
+        shared = run_simulation(
+            SystemConfig.paper_parallel(4, 8 * KB), app)
+        private = run_simulation(
+            SystemConfig.paper_parallel(4, 8 * KB).with_updates(
+                cluster_organization="private"), app)
+        assert shared.execution_time < private.execution_time
+        assert (shared.stats.total_invalidations
+                < private.stats.total_invalidations)

@@ -1,0 +1,131 @@
+"""Unit and property tests for the set-associative LRU tag array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import (INVALID, MODIFIED, SHARED,
+                              DirectMappedArray, SetAssociativeArray,
+                              make_array)
+
+
+class TestBasics:
+    def test_geometry(self):
+        array = SetAssociativeArray(64, associativity=4)
+        assert array.num_sets == 16
+        assert array.index_of(17) == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeArray(0, 1)
+        with pytest.raises(ValueError):
+            SetAssociativeArray(64, 5)
+        with pytest.raises(ValueError):
+            SetAssociativeArray(64, 0)
+
+    def test_install_then_hit(self):
+        array = SetAssociativeArray(64, 2)
+        assert array.install(5, SHARED) is None
+        assert array.state(5) == SHARED
+
+    def test_conflicting_lines_coexist_up_to_ways(self):
+        array = SetAssociativeArray(64, 2)   # 32 sets
+        array.install(5, SHARED)
+        assert array.install(5 + 32, SHARED) is None   # same set, way 2
+        assert array.state(5) == SHARED
+        assert array.state(5 + 32) == SHARED
+
+    def test_lru_eviction(self):
+        array = SetAssociativeArray(64, 2)
+        array.install(5, SHARED)
+        array.install(37, SHARED)         # set now full (5 older)
+        victim = array.install(69, SHARED)
+        assert victim == (5, SHARED)
+
+    def test_touch_protects_from_eviction(self):
+        array = SetAssociativeArray(64, 2)
+        array.install(5, SHARED)
+        array.install(37, SHARED)
+        array.touch(5)                    # 37 becomes LRU
+        victim = array.install(69, SHARED)
+        assert victim == (37, SHARED)
+
+    def test_reinstall_updates_state_without_victim(self):
+        array = SetAssociativeArray(64, 2)
+        array.install(5, SHARED)
+        assert array.install(5, MODIFIED) is None
+        assert array.state(5) == MODIFIED
+
+    def test_invalidate_frees_the_way(self):
+        array = SetAssociativeArray(64, 2)
+        array.install(5, SHARED)
+        array.install(37, SHARED)
+        assert array.invalidate(5)
+        assert array.install(69, SHARED) is None   # no eviction needed
+
+    def test_set_state_and_errors(self):
+        array = SetAssociativeArray(64, 2)
+        array.install(5, SHARED)
+        array.set_state(5, MODIFIED)
+        assert array.state(5) == MODIFIED
+        array.set_state(5, INVALID)
+        assert array.state(5) == INVALID
+        with pytest.raises(KeyError):
+            array.set_state(7, SHARED)
+        array.install(9, SHARED)
+        with pytest.raises(ValueError):
+            array.set_state(9, 42)
+        with pytest.raises(ValueError):
+            array.install(9, INVALID)
+
+
+class TestFactory:
+    def test_direct_mapped_for_one_way(self):
+        assert isinstance(make_array(64, 1), DirectMappedArray)
+
+    def test_set_associative_otherwise(self):
+        assert isinstance(make_array(64, 2), SetAssociativeArray)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(
+        st.sampled_from(["install_s", "install_m", "invalidate", "touch"]),
+        st.integers(0, 200)), min_size=1, max_size=300))
+    @settings(max_examples=150)
+    def test_never_exceeds_capacity_and_matches_reference(self, ops):
+        """Fully associative LRU shadow model per set."""
+        array = SetAssociativeArray(16, 4)   # 4 sets x 4 ways
+        shadow = {s: [] for s in range(4)}   # set -> [(line, state)] MRU..
+        for op, line in ops:
+            bucket = shadow[line % 4]
+            held = next((e for e in bucket if e[0] == line), None)
+            if op == "touch":
+                array.touch(line)
+                if held:
+                    bucket.remove(held)
+                    bucket.insert(0, held)
+            elif op == "invalidate":
+                array.invalidate(line)
+                if held:
+                    bucket.remove(held)
+            else:
+                state = SHARED if op == "install_s" else MODIFIED
+                array.install(line, state)
+                if held:
+                    bucket.remove(held)
+                bucket.insert(0, [line, state])
+                if len(bucket) > 4:
+                    bucket.pop()
+        for s in range(4):
+            assert len(shadow[s]) <= 4
+        expected = sorted((line, state)
+                          for bucket in shadow.values()
+                          for line, state in bucket)
+        assert sorted(array.resident_lines()) == expected
+        assert array.valid_count() == len(expected)
+
+    @given(st.integers(1, 4).map(lambda k: 2 ** k))
+    def test_full_associativity_never_evicts_under_capacity(self, ways):
+        array = SetAssociativeArray(4 * ways, ways)
+        for line in range(4 * ways):
+            assert array.install(line, SHARED) is None
+        assert array.valid_count() == 4 * ways

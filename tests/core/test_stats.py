@@ -1,0 +1,60 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.core.stats import ProcessorStats, SccStats, SystemStats
+
+
+class TestSccStats:
+    def test_rates_handle_idle_caches(self):
+        stats = SccStats()
+        assert stats.read_miss_rate == 0.0
+        assert stats.write_miss_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_rates(self):
+        stats = SccStats(reads=100, read_misses=10, writes=50,
+                         write_misses=25)
+        assert stats.read_miss_rate == pytest.approx(0.10)
+        assert stats.write_miss_rate == pytest.approx(0.50)
+        assert stats.miss_rate == pytest.approx(35 / 150)
+        assert stats.accesses == 150
+
+    def test_merge_sums_every_counter(self):
+        first = SccStats(reads=10, read_misses=1, invalidations_sent=3)
+        second = SccStats(reads=5, writebacks=2, invalidations_sent=4)
+        merged = first.merge(second)
+        assert merged.reads == 15
+        assert merged.read_misses == 1
+        assert merged.invalidations_sent == 7
+        assert merged.writebacks == 2
+        # Operands untouched.
+        assert first.reads == 10
+
+    def test_as_dict_roundtrips_every_field(self):
+        stats = SccStats(reads=7)
+        data = stats.as_dict()
+        assert data["reads"] == 7
+        assert set(data) == set(vars(SccStats()))
+
+
+class TestSystemStats:
+    def test_total_scc_aggregates(self):
+        stats = SystemStats(scc=[SccStats(reads=10, read_misses=5),
+                                 SccStats(reads=30, read_misses=3)])
+        assert stats.total_scc.reads == 40
+        assert stats.read_miss_rate == pytest.approx(8 / 40)
+
+    def test_total_invalidations(self):
+        stats = SystemStats(scc=[SccStats(invalidations_received=4),
+                                 SccStats(invalidations_received=6)])
+        assert stats.total_invalidations == 10
+
+    def test_as_dict_shape(self):
+        stats = SystemStats(scc=[SccStats()],
+                            processors=[ProcessorStats()],
+                            execution_time=42)
+        data = stats.as_dict()
+        assert data["execution_time"] == 42
+        assert len(data["scc"]) == 1
+        assert len(data["processors"]) == 1

@@ -1,0 +1,139 @@
+"""Integration tests for MultiprocessorSystem's access paths."""
+
+import pytest
+
+from repro.core.cache import MODIFIED, SHARED
+from repro.core.config import KB, SystemConfig
+from repro.core.system import MultiprocessorSystem
+
+
+class TestDataPath:
+    def test_cold_read_costs_memory_latency(self):
+        system = MultiprocessorSystem(SystemConfig())
+        complete = system.data_access(proc=0, addr=0x1000, is_write=False,
+                                      now=0)
+        assert complete == 101  # bank at 0, fetch done at 100, +1 use cycle
+
+    def test_warm_read_is_two_cycles(self):
+        system = MultiprocessorSystem(SystemConfig())
+        system.data_access(0, 0x1000, False, 0)
+        complete = system.data_access(0, 0x1000, False, 1000)
+        assert complete == 1001
+
+    def test_write_does_not_stall(self):
+        system = MultiprocessorSystem(SystemConfig())
+        complete = system.data_access(0, 0x1000, True, 0)
+        assert complete == 1
+
+    def test_processors_route_to_their_own_cluster(self):
+        config = SystemConfig(clusters=2, processors_per_cluster=2)
+        system = MultiprocessorSystem(config)
+        system.data_access(0, 0x1000, False, 0)   # cluster 0
+        system.data_access(2, 0x1000, False, 0)   # cluster 1
+        assert system.clusters[0].scc.stats.reads == 1
+        assert system.clusters[1].scc.stats.reads == 1
+
+    def test_cluster_mates_share_the_cache(self):
+        """The prefetching effect of Section 3.1.1: processor 1 hits on a
+        line processor 0 fetched."""
+        config = SystemConfig(clusters=1, processors_per_cluster=2)
+        system = MultiprocessorSystem(config)
+        system.data_access(0, 0x1000, False, 0)
+        complete = system.data_access(1, 0x1000, False, 500)
+        assert complete == 501
+        assert system.clusters[0].scc.stats.read_misses == 1
+
+    def test_bank_conflict_between_cluster_mates(self):
+        config = SystemConfig(clusters=1, processors_per_cluster=2)
+        system = MultiprocessorSystem(config)
+        system.data_access(0, 0x1000, False, 0)
+        system.data_access(1, 0x1000, False, 1000)  # warm it
+        # Same line, same cycle: second access waits one bank cycle.
+        first = system.data_access(0, 0x1000, False, 2000)
+        second = system.data_access(1, 0x1000, False, 2000)
+        assert first == 2001
+        assert second == 2002
+        assert system.clusters[0].scc.stats.bank_conflict_cycles == 1
+
+    def test_different_banks_no_conflict(self):
+        config = SystemConfig(clusters=1, processors_per_cluster=2)
+        system = MultiprocessorSystem(config)
+        line = config.line_size
+        system.data_access(0, 0, False, 0)
+        system.data_access(1, line, False, 0)
+        assert system.clusters[0].scc.stats.bank_conflict_cycles == 0
+
+    def test_cross_cluster_invalidation(self):
+        config = SystemConfig(clusters=2, processors_per_cluster=1)
+        system = MultiprocessorSystem(config)
+        system.data_access(0, 0x40, False, 0)
+        system.data_access(1, 0x40, True, 500)
+        stats = system.stats(1000)
+        assert stats.total_invalidations == 1
+        assert system.clusters[0].scc.array.state(config.line_of(0x40)) == 0
+
+    def test_invariant_checker_passes_after_traffic(self):
+        config = SystemConfig(clusters=4, processors_per_cluster=2,
+                              scc_size=4 * KB)
+        system = MultiprocessorSystem(config)
+        for step in range(200):
+            proc = step % config.total_processors
+            system.data_access(proc, (step * 48) % 8192, step % 3 == 0,
+                               step * 10)
+        system.check_invariants()
+
+
+class TestIfetchPath:
+    def test_ifetch_without_icache_model_costs_count(self):
+        system = MultiprocessorSystem(SystemConfig(model_icache=False))
+        assert system.ifetch(0, 0x400, 8, now=10) == 18
+
+    def test_ifetch_with_icache_model_pays_misses(self):
+        config = SystemConfig(model_icache=True)
+        system = MultiprocessorSystem(config)
+        complete = system.ifetch(0, 0, 8, now=0)  # 8 instrs, one 32 B line
+        assert complete == 8 + config.icache_miss_latency
+
+    def test_warm_icache_fetch_is_free_of_stall(self):
+        config = SystemConfig(model_icache=True)
+        system = MultiprocessorSystem(config)
+        system.ifetch(0, 0, 8, 0)
+        assert system.ifetch(0, 0, 8, 1000) == 1008
+
+    def test_icaches_are_private_per_processor(self):
+        config = SystemConfig(clusters=1, processors_per_cluster=2,
+                              model_icache=True)
+        system = MultiprocessorSystem(config)
+        system.ifetch(0, 0, 8, 0)
+        complete = system.ifetch(1, 0, 8, 1000)  # proc 1 misses anyway
+        assert complete == 1008 + config.icache_miss_latency
+
+
+class TestAccounting:
+    def test_reference_splits_busy_and_stall(self):
+        system = MultiprocessorSystem(SystemConfig())
+        system.data_access(0, 0x1000, False, 0)  # miss: 101 cycles total
+        stats = system.stats(101)
+        proc = stats.processors[0]
+        assert proc.busy_cycles == 1
+        assert proc.memory_stall_cycles == 100
+        assert proc.references == 1
+
+    def test_compute_and_sync_accounting(self):
+        system = MultiprocessorSystem(SystemConfig())
+        system.account_compute(0, 50)
+        system.account_sync(0, 25)
+        stats = system.stats(75)
+        assert stats.processors[0].busy_cycles == 50
+        assert stats.processors[0].sync_stall_cycles == 25
+        assert stats.processors[0].total_cycles == 75
+
+    def test_stats_aggregate_scc_counters(self):
+        config = SystemConfig(clusters=2)
+        system = MultiprocessorSystem(config)
+        system.data_access(0, 0x40, False, 0)
+        system.data_access(1, 0x80, False, 0)
+        stats = system.stats(500)
+        assert stats.total_scc.reads == 2
+        assert stats.total_scc.read_misses == 2
+        assert stats.read_miss_rate == 1.0

@@ -1,0 +1,71 @@
+"""Tests for the cost/performance combination (Tables 6-7 machinery)."""
+
+import pytest
+
+from repro.cost.costperf import (compare_configurations,
+                                 cost_performance_gain, mcm_table,
+                                 single_chip_table)
+
+KB = 1024
+
+
+def synthetic_surface(times):
+    """Surface with the normalization point plus given configs."""
+    surface = {(8, 512 * KB): 100.0}
+    surface.update(times)
+    return surface
+
+
+class TestCompareConfigurations:
+    def test_latency_correction_applied(self):
+        surfaces = {"barnes-hut": synthetic_surface({
+            (1, 64 * KB): 1000.0, (2, 32 * KB): 500.0})}
+        table = single_chip_table(surfaces)
+        one, two = table.row("barnes-hut")
+        # 1 proc: 2-cycle loads -> factor 1.00; 2 procs: 3-cycle -> 1.06.
+        assert one.normalized_time == pytest.approx(10.0)
+        assert two.normalized_time == pytest.approx(5.0 * 1.06)
+        assert one.load_latency == 2
+        assert two.load_latency == 3
+
+    def test_mcm_table_uses_four_cycle_loads(self):
+        surfaces = {"mp3d": synthetic_surface({
+            (4, 64 * KB): 300.0, (8, 128 * KB): 150.0})}
+        table = mcm_table(surfaces)
+        four, eight = table.row("mp3d")
+        assert four.load_latency == 4
+        assert eight.load_latency == 4
+        assert four.normalized_time == pytest.approx(3.0 * 1.14)
+
+    def test_mean_speedup(self):
+        surfaces = {
+            "barnes-hut": synthetic_surface({(1, 64 * KB): 1000.0,
+                                             (2, 32 * KB): 500.0}),
+        }
+        table = single_chip_table(surfaces)
+        speedup = table.mean_speedup(slower=(1, 64 * KB),
+                                     faster=(2, 32 * KB))
+        assert speedup == pytest.approx(2.0 / 1.06, rel=1e-6)
+
+    def test_benchmarks_listed_in_order(self):
+        surfaces = {
+            "mp3d": synthetic_surface({(1, 64 * KB): 1.0,
+                                       (2, 32 * KB): 1.0}),
+            "barnes-hut": synthetic_surface({(1, 64 * KB): 1.0,
+                                             (2, 32 * KB): 1.0}),
+        }
+        table = single_chip_table(surfaces)
+        assert table.benchmarks == ["mp3d", "barnes-hut"]
+
+
+class TestCostPerformance:
+    def test_papers_arithmetic(self):
+        """70% faster on a 37% bigger chip -> ~24% better cost/perf."""
+        assert cost_performance_gain(1.70) == pytest.approx(0.243, abs=0.01)
+
+    def test_break_even(self):
+        area_ratio = 279.0 / 204.0
+        assert cost_performance_gain(area_ratio) == pytest.approx(0.0)
+
+    def test_slower_design_loses(self):
+        assert cost_performance_gain(1.0) < 0.0

@@ -1,0 +1,76 @@
+"""Tests for the cluster floorplans."""
+
+import pytest
+
+from repro.cost.floorplan import (CLUSTER_IMPLEMENTATIONS,
+                                  implementation_for)
+
+
+class TestQuotedNumbers:
+    def test_chip_areas(self):
+        assert CLUSTER_IMPLEMENTATIONS[1].chip_area_mm2 == 204.0
+        assert CLUSTER_IMPLEMENTATIONS[2].chip_area_mm2 == 279.0
+        assert CLUSTER_IMPLEMENTATIONS[4].chip_area_mm2 == 297.0
+        assert CLUSTER_IMPLEMENTATIONS[8].chip_area_mm2 == 306.0
+
+    def test_area_ratios_match_the_paper(self):
+        assert CLUSTER_IMPLEMENTATIONS[2].area_ratio_vs_uniprocessor == \
+            pytest.approx(1.37, abs=0.005)
+        assert CLUSTER_IMPLEMENTATIONS[4].area_ratio_vs_uniprocessor == \
+            pytest.approx(1.46, abs=0.005)
+        assert CLUSTER_IMPLEMENTATIONS[8].area_ratio_vs_uniprocessor == \
+            pytest.approx(1.50, abs=0.005)
+
+    def test_load_latencies(self):
+        assert CLUSTER_IMPLEMENTATIONS[1].load_latency == 2
+        assert CLUSTER_IMPLEMENTATIONS[2].load_latency == 3
+        assert CLUSTER_IMPLEMENTATIONS[4].load_latency == 4
+        assert CLUSTER_IMPLEMENTATIONS[8].load_latency == 4
+
+    def test_scc_sizes(self):
+        assert CLUSTER_IMPLEMENTATIONS[1].scc_bytes == 64 * 1024
+        assert CLUSTER_IMPLEMENTATIONS[2].scc_bytes == 32 * 1024
+        assert CLUSTER_IMPLEMENTATIONS[4].scc_bytes == 64 * 1024
+        assert CLUSTER_IMPLEMENTATIONS[8].scc_bytes == 128 * 1024
+
+    def test_chips_per_cluster(self):
+        assert [CLUSTER_IMPLEMENTATIONS[p].chips
+                for p in (1, 2, 4, 8)] == [1, 1, 2, 4]
+
+
+class TestDerived:
+    def test_components_fit_inside_the_quoted_total(self):
+        for impl in CLUSTER_IMPLEMENTATIONS.values():
+            assert impl.overhead_mm2 > 0
+            # Overhead (routing, pads, dead space) is under half the die.
+            assert impl.overhead_mm2 < impl.chip_area_mm2 * 0.5
+
+    def test_every_chip_fits_the_economical_die(self):
+        for impl in CLUSTER_IMPLEMENTATIONS.values():
+            assert impl.fits_die
+
+    def test_cluster_area_counts_all_chips(self):
+        eight = CLUSTER_IMPLEMENTATIONS[8]
+        assert eight.cluster_area_mm2 == pytest.approx(4 * 306.0)
+
+    def test_packaging_boundary(self):
+        assert not CLUSTER_IMPLEMENTATIONS[1].packaging().needs_c4
+        assert not CLUSTER_IMPLEMENTATIONS[4].packaging().needs_c4
+        assert CLUSTER_IMPLEMENTATIONS[8].packaging().needs_c4
+
+    def test_scc_components_present_for_shared_designs(self):
+        for procs in (2, 4, 8):
+            areas = CLUSTER_IMPLEMENTATIONS[procs].component_areas_mm2()
+            assert "scc banks" in areas
+            assert "icn" in areas
+        assert "data cache" in \
+            CLUSTER_IMPLEMENTATIONS[1].component_areas_mm2()
+
+
+class TestLookup:
+    def test_implementation_for(self):
+        assert implementation_for(2).processors == 2
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ValueError):
+            implementation_for(3)

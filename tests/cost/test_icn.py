@@ -1,0 +1,43 @@
+"""Tests for the crossbar ICN area model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cost.icn import (DEFAULT_PITCH_UM, WIRES_PER_PORT,
+                            crossbar_area_mm2)
+
+
+class TestCrossbarArea:
+    def test_calibration_point(self):
+        """The two-processor chip's 3-port x 8-bank ICN is 12.1 mm^2."""
+        assert crossbar_area_mm2(3, 8) == pytest.approx(12.1, abs=0.05)
+
+    def test_scales_linearly_with_ports(self):
+        one = crossbar_area_mm2(1, 8)
+        assert crossbar_area_mm2(5, 8) == pytest.approx(5 * one)
+
+    def test_scales_linearly_with_banks(self):
+        assert crossbar_area_mm2(3, 16) == pytest.approx(
+            2 * crossbar_area_mm2(3, 8))
+
+    def test_scales_linearly_with_pitch(self):
+        assert crossbar_area_mm2(3, 8, pitch_um=0.8) == pytest.approx(
+            crossbar_area_mm2(3, 8, pitch_um=1.6) / 2)
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            crossbar_area_mm2(0, 8)
+        with pytest.raises(ValueError):
+            crossbar_area_mm2(3, 0)
+        with pytest.raises(ValueError):
+            crossbar_area_mm2(3, 8, pitch_um=0)
+
+    @given(st.integers(1, 12), st.integers(1, 64))
+    def test_always_positive_and_monotone(self, ports, banks):
+        area = crossbar_area_mm2(ports, banks)
+        assert area > 0
+        assert crossbar_area_mm2(ports + 1, banks) > area
+
+    def test_defaults_are_the_paper_values(self):
+        assert WIRES_PER_PORT == 160
+        assert DEFAULT_PITCH_UM == 1.6

@@ -1,0 +1,60 @@
+"""Tests for the load-latency sensitivity model (Table 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cost.latency import (PAPER_LATENCY_MODELS, PAPER_TABLE5,
+                                LoadLatencyModel, latency_factor)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("bench_name", sorted(PAPER_TABLE5))
+    def test_reproduces_table5(self, bench_name):
+        expected = PAPER_TABLE5[bench_name]
+        for latency, value in zip((2, 3, 4), expected):
+            assert latency_factor(bench_name, latency) == pytest.approx(
+                value, abs=0.005)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            latency_factor("dhrystone", 3)
+
+
+class TestModel:
+    def test_two_cycle_load_is_the_baseline(self):
+        model = LoadLatencyModel("m", 0.3, 0.2, 0.1)
+        assert model.relative_time(2) == 1.0
+
+    def test_monotone_in_latency(self):
+        for model in PAPER_LATENCY_MODELS.values():
+            assert (model.relative_time(2) <= model.relative_time(3)
+                    <= model.relative_time(4))
+
+    def test_rejects_sub_pipeline_latency(self):
+        model = LoadLatencyModel("m", 0.3, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            model.relative_time(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadLatencyModel("m", 0.0, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            LoadLatencyModel("m", 0.3, 0.8, 0.5)
+        with pytest.raises(ValueError):
+            LoadLatencyModel("m", 0.3, -0.1, 0.0)
+
+    @given(st.floats(0.05, 0.6), st.floats(0.0, 0.5), st.floats(0.0, 0.4))
+    def test_stalls_grow_with_latency_for_any_mix(self, loads, p1, p2):
+        if p1 + p2 > 1.0:
+            p2 = 1.0 - p1
+        model = LoadLatencyModel("m", loads, p1, p2)
+        assert model.stalls_per_load(2) == 0.0
+        assert model.stalls_per_load(3) <= model.stalls_per_load(4)
+        assert model.relative_time(4) >= 1.0
+
+    def test_four_cycle_stall_arithmetic(self):
+        model = LoadLatencyModel("m", load_fraction=0.5,
+                                 p_distance_1=0.4, p_distance_2=0.2)
+        # d=1 stalls 2 cycles, d=2 stalls 1 cycle at L=4.
+        assert model.stalls_per_load(4) == pytest.approx(0.4 * 2 + 0.2)
+        assert model.relative_time(4) == pytest.approx(1.5)

@@ -1,0 +1,48 @@
+"""Tests for pad counting and packaging feasibility."""
+
+import pytest
+
+from repro.cost.pins import (LINES_PER_PROCESSOR, choose_packaging,
+                             perimeter_pad_capacity, signal_pads)
+
+
+class TestSignalPads:
+    def test_paper_lines_per_processor(self):
+        assert LINES_PER_PROCESSOR == 160
+
+    def test_four_proc_chip_matches_paper(self):
+        # Two remote processors -> the paper's ~600 signal pads.
+        assert signal_pads(2) == 600
+
+    def test_grows_with_remote_processors(self):
+        assert signal_pads(6) > signal_pads(2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            signal_pads(-1)
+
+
+class TestPerimeter:
+    def test_capacity_of_the_paper_die(self):
+        assert perimeter_pad_capacity(18.0) == 600
+
+    def test_finer_pitch_gives_more_pads(self):
+        assert perimeter_pad_capacity(18.0, pad_pitch_um=60) == 1200
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            perimeter_pad_capacity(0)
+        with pytest.raises(ValueError):
+            perimeter_pad_capacity(18.0, pad_pitch_um=0)
+
+
+class TestPackagingChoice:
+    def test_600_pads_fit_the_perimeter(self):
+        assert not choose_packaging(600).needs_c4
+
+    def test_1100_pads_need_c4(self):
+        """The eight-processor block's pad count forces C4
+        (Section 4.5)."""
+        choice = choose_packaging(1100)
+        assert choice.needs_c4
+        assert choice.perimeter_capacity == 600

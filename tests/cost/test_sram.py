@@ -1,0 +1,67 @@
+"""Tests for the SRAM area and access-time models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cost.sram import (DATA_CACHE_BLOCK, SCC_BANK_BLOCK,
+                             access_time_fo4, cache_area_mm2,
+                             max_direct_mapped_bytes)
+
+KB = 1024
+
+
+class TestBlocks:
+    def test_paper_block_constants(self):
+        assert DATA_CACHE_BLOCK.capacity_bytes == 8 * KB
+        assert DATA_CACHE_BLOCK.area_mm2 == 6.6
+        assert SCC_BANK_BLOCK.capacity_bytes == 4 * KB
+        assert SCC_BANK_BLOCK.area_mm2 == 8.0
+
+    def test_scc_blocks_pay_a_density_premium(self):
+        """Arbitration, write buffers and crossbar drivers make SCC
+        storage > 2x less dense (Section 4.3)."""
+        assert SCC_BANK_BLOCK.mm2_per_kb > 2 * DATA_CACHE_BLOCK.mm2_per_kb
+
+    def test_uniprocessor_data_cache_area(self):
+        # 64 KB from 8 KB blocks: 8 blocks x 6.6 = 52.8 mm^2.
+        assert cache_area_mm2(64 * KB, DATA_CACHE_BLOCK) == \
+            pytest.approx(52.8)
+
+    def test_two_proc_scc_area(self):
+        # 32 KB SCC from 4 KB bank blocks: 8 x 8 = 64 mm^2.
+        assert cache_area_mm2(32 * KB, SCC_BANK_BLOCK) == pytest.approx(64.0)
+
+    def test_partial_blocks_round_up(self):
+        assert cache_area_mm2(9 * KB, DATA_CACHE_BLOCK) == \
+            pytest.approx(2 * 6.6)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            cache_area_mm2(0, DATA_CACHE_BLOCK)
+
+
+class TestAccessTime:
+    def test_64kb_hits_the_cycle_exactly(self):
+        assert access_time_fo4(64 * KB) == pytest.approx(30.0)
+
+    def test_larger_caches_exceed_the_cycle(self):
+        assert access_time_fo4(128 * KB) > 30.0
+
+    def test_max_direct_mapped(self):
+        assert max_direct_mapped_bytes(30) == 64 * KB
+        assert max_direct_mapped_bytes(33) == 128 * KB
+
+    def test_rejects_tiny_caches(self):
+        with pytest.raises(ValueError):
+            access_time_fo4(512)
+
+    @given(st.integers(0, 10))
+    def test_monotone_in_capacity(self, doublings):
+        small = KB << doublings
+        assert access_time_fo4(small) < access_time_fo4(small * 2)
+
+    @given(st.floats(15.0, 60.0))
+    def test_inverse_is_consistent(self, budget):
+        size = max_direct_mapped_bytes(budget)
+        assert access_time_fo4(size) <= budget + 1e-9
+        assert access_time_fo4(size * 2) > budget - 3.0 + 1e-9

@@ -1,0 +1,52 @@
+"""Tests for the process technology and scaling models."""
+
+import pytest
+
+from repro.cost.technology import (ALPHA_21064, CYCLE_TIME_FO4,
+                                   BANK_ARBITRATION_FO4, PAPER_PROCESS,
+                                   ProcessNode, ScaledProcessor)
+
+
+class TestProcessNode:
+    def test_paper_process_constants(self):
+        assert PAPER_PROCESS.gate_length_um == 0.4
+        assert PAPER_PROCESS.metal_layers == 3
+        assert PAPER_PROCESS.max_die_area_mm2 == pytest.approx(324.0)
+
+    def test_area_scaling_is_quadratic(self):
+        fine = ProcessNode(0.4, 3, 18.0)
+        coarse = ProcessNode(0.8, 3, 18.0)
+        assert fine.area_scale_from(coarse) == pytest.approx(0.25)
+        assert coarse.area_scale_from(fine) == pytest.approx(4.0)
+
+    def test_identity_scale(self):
+        assert PAPER_PROCESS.area_scale_from(PAPER_PROCESS) == 1.0
+
+
+class TestScaledProcessor:
+    def test_shrinks_from_the_alpha(self):
+        scaled = ScaledProcessor.in_process()
+        shrink = (0.4 / 0.68) ** 2
+        assert scaled.core_area_mm2 == pytest.approx(
+            ALPHA_21064.core_area_mm2 * shrink)
+
+    def test_icache_doubles_capacity(self):
+        scaled = ScaledProcessor.in_process()
+        assert scaled.icache_kb == 16
+        shrink = (0.4 / 0.68) ** 2
+        assert scaled.icache_area_mm2 == pytest.approx(
+            ALPHA_21064.icache_area_mm2 * shrink * 2)
+
+    def test_total_area(self):
+        scaled = ScaledProcessor.in_process()
+        assert scaled.total_area_mm2 == pytest.approx(
+            scaled.core_area_mm2 + scaled.icache_area_mm2)
+
+
+class TestTimingConstants:
+    def test_paper_cycle_and_arbitration(self):
+        assert CYCLE_TIME_FO4 == 30
+        assert BANK_ARBITRATION_FO4 == 17
+        # Arbitration doesn't fit in the cycle -- that's why loads grow
+        # to three cycles on the shared-cache chips.
+        assert BANK_ARBITRATION_FO4 > CYCLE_TIME_FO4 / 2

@@ -1,0 +1,58 @@
+"""Tests for the Section 3.2 pipelines, on synthetic sweeps."""
+
+import pytest
+
+from repro.core.config import KB
+from repro.experiments.multiprog import (degradation_factor, figure5_curves,
+                                         figure6_speedups, render_figure5,
+                                         render_figure6,
+                                         smallest_to_largest_improvement)
+from repro.experiments.runner import PAPER_LADDER, PROCS_SWEPT, RunStats
+
+
+def synthetic_sweep():
+    """Interference model: efficiency improves with SCC size."""
+    sweep = {}
+    for size_index, size in enumerate(PAPER_LADDER):
+        efficiency = 0.4 + 0.07 * size_index   # 0.4 .. 0.89
+        for procs in PROCS_SWEPT:
+            speedup = 1.0 if procs == 1 else procs * efficiency
+            time = int(8_000_000 * (0.85 ** size_index) / speedup)
+            sweep[(procs, size)] = RunStats(
+                execution_time=time, read_miss_rate=0.2, miss_rate=0.2,
+                invalidations=0, reads=1000, writes=300, events=1000)
+    return sweep
+
+
+class TestFigure5:
+    def test_curves_normalized_to_best(self):
+        curves = figure5_curves(synthetic_sweep())
+        assert dict(curves[8])[512 * KB] == pytest.approx(1.0)
+        assert dict(curves[1])[4 * KB] > dict(curves[1])[512 * KB]
+
+    def test_improvement_metric(self):
+        sweep = synthetic_sweep()
+        improvement = smallest_to_largest_improvement(sweep, procs=8)
+        assert improvement > smallest_to_largest_improvement(sweep, procs=1)
+
+
+class TestFigure6:
+    def test_speedups_are_self_relative(self):
+        table = figure6_speedups(synthetic_sweep())
+        for size in PAPER_LADDER:
+            assert table[size][0] == pytest.approx(1.0)
+
+    def test_degradation_shrinks_with_size(self):
+        sweep = synthetic_sweep()
+        assert (degradation_factor(sweep, 512 * KB)
+                < degradation_factor(sweep, 4 * KB))
+
+
+class TestRenderers:
+    def test_render_figure5(self):
+        assert "512 KB" in render_figure5(synthetic_sweep())
+
+    def test_render_figure6(self):
+        text = render_figure6(synthetic_sweep())
+        assert "self-relative" in text
+        assert "1.00" in text

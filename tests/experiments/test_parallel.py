@@ -1,0 +1,94 @@
+"""Tests for the Section 3.1 pipelines, on synthetic sweeps."""
+
+import pytest
+
+from repro.core.config import KB
+from repro.experiments.parallel import (PAPER_TABLE3, PAPER_TABLE4,
+                                        invalidation_series,
+                                        normalized_execution_times,
+                                        read_miss_rate_table, render_figure,
+                                        render_miss_rates, render_speedups,
+                                        self_relative_speedup,
+                                        speedup_table)
+from repro.experiments.runner import PAPER_LADDER, PROCS_SWEPT, RunStats
+
+
+def synthetic_sweep():
+    """A sweep whose execution time halves per processor doubling and
+    shrinks 10% per ladder step."""
+    sweep = {}
+    for size_index, size in enumerate(PAPER_LADDER):
+        for procs in PROCS_SWEPT:
+            time = int(1_000_000 * (0.9 ** size_index) / procs)
+            sweep[(procs, size)] = RunStats(
+                execution_time=time,
+                read_miss_rate=0.10 / procs + 0.01 * size_index,
+                miss_rate=0.1, invalidations=100 + procs,
+                reads=1000, writes=300, events=2000)
+    return sweep
+
+
+class TestNormalizedTimes:
+    def test_base_config_is_one(self):
+        curves = normalized_execution_times(synthetic_sweep())
+        assert dict(curves[8])[512 * KB] == pytest.approx(1.0)
+
+    def test_curves_cover_the_ladder(self):
+        curves = normalized_execution_times(synthetic_sweep())
+        for procs in PROCS_SWEPT:
+            assert [size for size, _ in curves[procs]] == list(PAPER_LADDER)
+
+
+class TestSpeedupTable:
+    def test_relative_to_one_processor(self):
+        table = speedup_table(synthetic_sweep())
+        for size in PAPER_LADDER:
+            assert table[size][0] == pytest.approx(1.0)
+            assert table[size][3] == pytest.approx(8.0, rel=1e-4)
+
+    def test_self_relative_speedup(self):
+        assert self_relative_speedup(synthetic_sweep(), 4 * KB) == \
+            pytest.approx(8.0, rel=1e-4)
+
+
+class TestMissRateTable:
+    def test_percentages(self):
+        table = read_miss_rate_table(synthetic_sweep(), sizes=(4 * KB,))
+        assert table[4 * KB][0] == pytest.approx(10.0)
+        assert table[4 * KB][3] == pytest.approx(10.0 / 8)
+
+
+class TestInvalidations:
+    def test_series_ordering(self):
+        series = invalidation_series(synthetic_sweep(), 4 * KB)
+        assert series == (101, 102, 104, 108)
+
+
+class TestRenderers:
+    def test_render_figure_mentions_every_size(self):
+        text = render_figure("barnes-hut", synthetic_sweep())
+        for size in ("4 KB", "512 KB"):
+            assert size in text
+
+    def test_render_speedups_includes_paper_column(self):
+        text = render_speedups("barnes-hut", synthetic_sweep(),
+                               PAPER_TABLE3)
+        assert "paper" in text
+        assert "12.5" in text   # the paper's 8-proc 512 KB speedup
+
+    def test_render_miss_rates(self):
+        text = render_miss_rates("barnes-hut", synthetic_sweep(),
+                                 PAPER_TABLE4)
+        assert "%" in text
+        assert "7.96" in text
+
+
+class TestPaperConstants:
+    def test_table3_shape(self):
+        assert set(PAPER_TABLE3) == set(PAPER_LADDER)
+        for values in PAPER_TABLE3.values():
+            assert values[0] == 1.0
+            assert len(values) == 4
+
+    def test_table4_shape(self):
+        assert set(PAPER_TABLE4) == {8 * KB, 64 * KB, 256 * KB}

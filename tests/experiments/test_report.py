@@ -1,0 +1,82 @@
+"""Tests for the report renderers."""
+
+import pytest
+
+from repro.experiments.report import format_size, render_table
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table("title", ["name", "value"],
+                            [["alpha", 1.2345], ["b", 2]])
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "1.23" in lines[3]
+
+    def test_columns_align(self):
+        text = render_table("t", ["a", "b"],
+                            [["xxxxxxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+
+class TestFormatSize:
+    def test_kb_sizes(self):
+        assert format_size(4096) == "4 KB"
+        assert format_size(512 * 1024) == "512 KB"
+
+    def test_sub_kb_sizes(self):
+        assert format_size(512) == "512 B"
+        assert format_size(1536) == "1536 B"
+
+
+class TestAsciiChart:
+    def _chart(self, **kwargs):
+        from repro.experiments.report import render_ascii_chart
+        series = {"1": [(0, 10.0), (1, 5.0), (2, 1.0)],
+                  "2": [(0, 8.0), (1, 2.0), (2, 0.5)]}
+        return render_ascii_chart("chart", series,
+                                  ["4KB", "8KB", "16KB"], **kwargs)
+
+    def test_contains_markers_and_labels(self):
+        text = self._chart()
+        assert "chart" in text
+        assert "1" in text and "2" in text
+        assert "4KB" in text and "16KB" in text
+
+    def test_extremes_land_on_edge_rows(self):
+        text = self._chart(height=10)
+        lines = text.splitlines()
+        data_lines = [line for line in lines if "|" in line]
+        assert "1" in data_lines[0]        # max value on the top row
+        assert "2" in data_lines[-1]       # min value on the bottom row
+
+    def test_linear_scale(self):
+        text = self._chart(log_y=False)
+        assert "10.00" in text
+
+    def test_rejects_empty_series(self):
+        import pytest
+        from repro.experiments.report import render_ascii_chart
+        with pytest.raises(ValueError):
+            render_ascii_chart("t", {}, ["a"])
+        with pytest.raises(ValueError):
+            render_ascii_chart("t", {"1": []}, ["a"])
+
+    def test_rejects_nonpositive_on_log_scale(self):
+        import pytest
+        from repro.experiments.report import render_ascii_chart
+        with pytest.raises(ValueError):
+            render_ascii_chart("t", {"1": [(0, 0.0)]}, ["a"])
+
+    def test_rejects_out_of_range_x(self):
+        import pytest
+        from repro.experiments.report import render_ascii_chart
+        with pytest.raises(ValueError):
+            render_ascii_chart("t", {"1": [(5, 1.0)]}, ["a"])

@@ -1,0 +1,91 @@
+"""Tests for the sweep runner and result cache."""
+
+import pytest
+
+from repro.core.config import KB, SystemConfig
+from repro.experiments.runner import (PAPER_LADDER, PROFILES, ResultCache,
+                                      RunStats, active_profile,
+                                      parallel_sweep, run_point)
+
+
+@pytest.fixture
+def tiny_profile():
+    from repro.experiments.runner import ExperimentProfile
+    return ExperimentProfile(
+        name="tiny", ladder_scale=8,
+        barnes_bodies=32, barnes_steps=1,
+        mp3d_particles=60, mp3d_steps=1,
+        cholesky_n=64,
+        multiprog_instructions=2000, multiprog_quantum=500)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"quick", "paper"}
+        for profile in PROFILES.values():
+            assert profile.ladder_scale >= 1
+
+    def test_scaled_ladder(self):
+        ladder = PROFILES["quick"].scaled_ladder()
+        assert ladder[0] == 4 * KB // 8
+        assert ladder[-1] == 512 * KB // 8
+        assert len(ladder) == len(PAPER_LADDER)
+
+    def test_active_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "quick")
+        assert active_profile().name == "quick"
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            active_profile()
+
+    def test_workload_dispatch(self, tiny_profile):
+        for name in ("barnes-hut", "mp3d", "cholesky",
+                     "multiprogramming"):
+            assert tiny_profile.workload(name) is not None
+        with pytest.raises(ValueError):
+            tiny_profile.workload("linpack")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = RunStats(execution_time=100, read_miss_rate=0.5,
+                         miss_rate=0.4, invalidations=7, reads=10,
+                         writes=5, events=20)
+        assert cache.get("key") is None
+        cache.put("key", stats)
+        assert cache.get("key") == stats
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = RunStats(1, 0.0, 0.0, 0, 0, 0, 0)
+        cache.put("a", stats)
+        assert cache.get("b") is None
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = RunStats(1, 0.0, 0.0, 0, 0, 0, 0)
+        cache.put("a", stats)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        assert cache.get("a") is None
+
+
+class TestRunPoint:
+    def test_run_point_populates_cache(self, tmp_path, tiny_profile):
+        cache = ResultCache(tmp_path)
+        config = SystemConfig.paper_parallel(1, 1 * KB)
+        first = run_point("mp3d", tiny_profile, config, cache)
+        assert first.execution_time > 0
+        assert first.reads > 0
+        # A second call is served from the cache (same values).
+        second = run_point("mp3d", tiny_profile, config, cache)
+        assert second == first
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_sweep_covers_the_grid(self, tmp_path, tiny_profile):
+        cache = ResultCache(tmp_path)
+        sweep = parallel_sweep("mp3d", tiny_profile, cache,
+                               ladder=(4 * KB, 64 * KB), procs=(1, 2))
+        assert set(sweep) == {(1, 4 * KB), (2, 4 * KB),
+                              (1, 64 * KB), (2, 64 * KB)}

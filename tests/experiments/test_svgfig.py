@@ -1,0 +1,67 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.experiments.svgfig import render_svg_chart, save_svg_chart
+
+SERIES = {"1 proc": [(0, 10.0), (1, 5.0), (2, 1.0)],
+          "8 procs": [(0, 4.0), (1, 2.0), (2, 0.5)]}
+LABELS = ["4KB", "8KB", "16KB"]
+
+
+def parse(svg):
+    return ElementTree.fromstring(svg)
+
+
+class TestRenderSvgChart:
+    def test_produces_well_formed_xml(self):
+        root = parse(render_svg_chart("Figure", SERIES, LABELS))
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        root = parse(render_svg_chart("Figure", SERIES, LABELS))
+        polylines = root.findall(
+            ".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == len(SERIES)
+
+    def test_one_marker_per_point(self):
+        root = parse(render_svg_chart("Figure", SERIES, LABELS))
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == sum(len(pts) for pts in SERIES.values())
+
+    def test_labels_and_title_present(self):
+        svg = render_svg_chart("My Figure & Title", SERIES, LABELS)
+        assert "My Figure &amp; Title" in svg
+        for label in LABELS:
+            assert label in svg
+        for name in SERIES:
+            assert name in svg
+
+    def test_larger_values_sit_higher(self):
+        """y coordinates must decrease as values grow."""
+        svg = render_svg_chart("f", {"s": [(0, 1.0), (1, 100.0)]},
+                               ["a", "b"], log_y=True)
+        root = parse(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        y_small, y_large = (float(c.get("cy")) for c in circles)
+        assert y_large < y_small
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            render_svg_chart("f", {}, LABELS)
+        with pytest.raises(ValueError):
+            render_svg_chart("f", {"s": [(0, -1.0)]}, LABELS, log_y=True)
+        with pytest.raises(ValueError):
+            render_svg_chart("f", {"s": [(9, 1.0)]}, LABELS)
+
+    def test_constant_series_renders(self):
+        svg = render_svg_chart("f", {"s": [(0, 2.0), (1, 2.0)]},
+                               ["a", "b"])
+        assert "polyline" in svg
+
+    def test_save_writes_the_file(self, tmp_path):
+        path = save_svg_chart(tmp_path / "fig.svg", "f", SERIES, LABELS)
+        assert path.exists()
+        parse(path.read_text())

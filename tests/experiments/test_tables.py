@@ -1,0 +1,67 @@
+"""Tests for the Table 5/6/7 and Section 4 pipelines."""
+
+import pytest
+
+from repro.core.config import KB
+from repro.experiments.runner import RunStats
+from repro.experiments.tables import (PAPER_TABLE6, PAPER_TABLE7,
+                                      render_section4_costs, render_table5,
+                                      render_table6, render_table7,
+                                      surfaces_from_sweeps)
+
+
+def synthetic_sweeps():
+    """All four benchmarks with a 2x-win-per-processor-doubling model."""
+    sweeps = {}
+    for benchmark in ("barnes-hut", "mp3d", "cholesky",
+                      "multiprogramming"):
+        sweep = {}
+        for procs in (1, 2, 4, 8):
+            for size_kb in (32, 64, 128, 512):
+                time = int(1_000_000 / procs * (64 / size_kb) ** 0.2)
+                sweep[(procs, size_kb * KB)] = RunStats(
+                    execution_time=time, read_miss_rate=0.1,
+                    miss_rate=0.1, invalidations=0, reads=1, writes=1,
+                    events=1)
+        sweeps[benchmark] = sweep
+    return sweeps
+
+
+class TestSurfaces:
+    def test_conversion_keeps_execution_times(self):
+        sweeps = synthetic_sweeps()
+        surfaces = surfaces_from_sweeps(sweeps)
+        key = (1, 64 * KB)
+        assert surfaces["mp3d"][key] == \
+            sweeps["mp3d"][key].execution_time
+
+
+class TestRenderers:
+    def test_table5_includes_all_benchmarks(self):
+        text = render_table5()
+        for name in ("barnes-hut", "mp3d", "cholesky",
+                     "multiprogramming"):
+            assert name in text
+
+    def test_table6_summary_line(self):
+        text = render_table6(synthetic_sweeps())
+        assert "cost/performance" in text
+        assert "paper" in text
+
+    def test_table7(self):
+        text = render_table7(synthetic_sweeps())
+        assert "8 procs/128 KB" in text
+
+    def test_section4_costs(self):
+        text = render_section4_costs()
+        assert "204" in text
+        assert "C4" in text
+
+
+class TestPaperConstants:
+    def test_table6_values(self):
+        assert PAPER_TABLE6["barnes-hut"] == (13.1, 5.8)
+        assert PAPER_TABLE6["cholesky"] == (3.9, 3.4)
+
+    def test_table7_values(self):
+        assert PAPER_TABLE7["mp3d"] == (2.9, 1.5)

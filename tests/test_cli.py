@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+class TestParseSize:
+    def test_kb(self):
+        assert parse_size("8KB") == 8192
+        assert parse_size("8kb") == 8192
+        assert parse_size(" 4 KB ") == 4096
+
+    def test_bytes(self):
+        assert parse_size("512B") == 512
+        assert parse_size("4096") == 4096
+
+    def test_rejects_garbage(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("lots")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "barnes-hut" in out
+        assert "table6" in out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "mp3d", "--procs", "1",
+                     "--scc", "1KB", "--clusters", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "read miss rate" in out
+
+    def test_simulate_private_organization(self, capsys):
+        code = main(["simulate", "mp3d", "--procs", "2", "--scc", "2KB",
+                     "--organization", "private"])
+        assert code == 0
+        assert "private" in capsys.readouterr().out
+
+    def test_report_table5(self, capsys):
+        assert main(["report", "table5"]) == 0
+        assert "1.06" in capsys.readouterr().out
+
+    def test_report_costs(self, capsys):
+        assert main(["report", "costs"]) == 0
+        assert "204" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "linpack"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSweepAndReportPaths:
+    @pytest.fixture
+    def tiny_profile(self, monkeypatch, tmp_path):
+        """Register a minuscule profile and point the cache at tmp."""
+        from repro.experiments.runner import PROFILES, ExperimentProfile
+        profile = ExperimentProfile(
+            name="tiny", ladder_scale=8,
+            barnes_bodies=24, barnes_steps=1,
+            mp3d_particles=40, mp3d_steps=1,
+            cholesky_n=48,
+            multiprog_instructions=1500, multiprog_quantum=500)
+        monkeypatch.setitem(PROFILES, "tiny", profile)
+        monkeypatch.setenv("REPRO_PROFILE", "tiny")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        return profile
+
+    def test_sweep_parallel(self, capsys, tiny_profile):
+        assert main(["sweep", "mp3d"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized execution time" in out
+        assert "speedups" in out
+
+    def test_report_table3(self, capsys, tiny_profile):
+        assert main(["report", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out

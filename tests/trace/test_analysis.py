@@ -1,0 +1,125 @@
+"""Tests for the trace-analysis tools (stack distances, MRC, working set)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.analysis import (data_lines, miss_ratio_curve,
+                                  stack_distances, working_set_lines)
+from repro.trace.events import Compute, Read, Write
+
+
+def reads(addresses):
+    return [Read(addr) for addr in addresses]
+
+
+def brute_force_distances(lines):
+    """Reference implementation: explicit LRU stack."""
+    stack = []
+    result = []
+    for line in lines:
+        if line in stack:
+            index = stack.index(line)
+            result.append(index)
+            stack.pop(index)
+        else:
+            result.append(None)
+        stack.insert(0, line)
+    return result
+
+
+class TestDataLines:
+    def test_line_mapping(self):
+        events = [Read(0), Read(15), Read(16), Write(32), Compute(5)]
+        assert data_lines(events) == [0, 0, 1, 2]
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            data_lines([Read(0)], line_size=24)
+
+
+class TestStackDistances:
+    def test_cold_references_are_none(self):
+        assert stack_distances(reads([0, 16, 32])) == [None, None, None]
+
+    def test_immediate_reuse_is_distance_zero(self):
+        assert stack_distances(reads([0, 0])) == [None, 0]
+
+    def test_textbook_example(self):
+        # Lines a b c b a: distances None None None 1 2.
+        events = reads([0, 16, 32, 16, 0])
+        assert stack_distances(events) == [None, None, None, 1, 2]
+
+    def test_multiple_reuses(self):
+        events = reads([0, 16, 0, 16, 0])
+        assert stack_distances(events) == [None, None, 1, 1, 1]
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_lru_stack(self, lines):
+        events = reads([line * 16 for line in lines])
+        assert stack_distances(events) == brute_force_distances(lines)
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing_in_size(self):
+        events = reads([i * 16 for i in range(50)] * 4)
+        curve = miss_ratio_curve(events, (64, 256, 1024))
+        values = [curve[size] for size in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cache_covering_everything_gets_only_cold_misses(self):
+        events = reads([0, 16, 32, 0, 16, 32])
+        curve = miss_ratio_curve(events, (1024,))
+        assert curve[1024] == pytest.approx(0.5)   # 3 cold / 6 refs
+
+    def test_single_line_cache(self):
+        events = reads([0, 0, 16, 16])
+        curve = miss_ratio_curve(events, (16,))
+        assert curve[16] == pytest.approx(0.5)
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            miss_ratio_curve(reads([0]), ())
+        with pytest.raises(ValueError):
+            miss_ratio_curve([Compute(1)], (64,))
+        with pytest.raises(ValueError):
+            miss_ratio_curve(reads([0]), (8,))
+
+    @given(st.lists(st.integers(0, 30), min_size=5, max_size=300),
+           st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_direct_lru_simulation(self, lines, cache_lines):
+        """The one-pass histogram must agree with simulating the LRU
+        cache directly."""
+        events = reads([line * 16 for line in lines])
+        curve = miss_ratio_curve(events, (cache_lines * 16,))
+        # Direct simulation.
+        stack = []
+        misses = 0
+        for line in lines:
+            if line in stack:
+                stack.remove(line)
+            else:
+                misses += 1
+                if len(stack) >= cache_lines:
+                    stack.pop()
+            stack.insert(0, line)
+        assert curve[cache_lines * 16] == pytest.approx(
+            misses / len(lines))
+
+
+class TestWorkingSet:
+    def test_uniform_trace(self):
+        events = reads([0, 16, 32, 48])
+        assert working_set_lines(events, fraction=1.0) == 4
+        assert working_set_lines(events, fraction=0.5) == 2
+
+    def test_skewed_trace(self):
+        events = reads([0] * 90 + [i * 16 for i in range(1, 11)])
+        assert working_set_lines(events, fraction=0.9) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            working_set_lines(reads([0]), fraction=0.0)
+        with pytest.raises(ValueError):
+            working_set_lines([Compute(1)])

@@ -1,0 +1,32 @@
+"""Tests for the trace event vocabulary."""
+
+from repro.trace.events import (Barrier, Compute, Ifetch, LockAcquire,
+                                LockRelease, Read, TaskDequeue, TaskEnqueue,
+                                Write, is_memory_event)
+
+
+class TestEventBasics:
+    def test_events_are_hashable_and_comparable(self):
+        assert Read(0x10) == Read(0x10)
+        assert Read(0x10) != Write(0x10)
+        assert len({Read(1), Read(1), Write(1)}) == 2
+
+    def test_ifetch_default_count(self):
+        assert Ifetch(0x100).count == 1
+
+    def test_is_memory_event(self):
+        assert is_memory_event(Read(0))
+        assert is_memory_event(Write(0))
+        assert is_memory_event(Ifetch(0))
+        assert not is_memory_event(Compute(1))
+        assert not is_memory_event(LockAcquire(0))
+        assert not is_memory_event(LockRelease(0))
+        assert not is_memory_event(Barrier(0, 2))
+        assert not is_memory_event(TaskEnqueue(0, 1))
+        assert not is_memory_event(TaskDequeue(0))
+
+    def test_events_are_immutable(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Read(1).addr = 2

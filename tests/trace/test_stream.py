@@ -1,0 +1,63 @@
+"""Tests for stream utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.events import (Barrier, Compute, Read, TaskDequeue, Write)
+from repro.trace.stream import (coalesce_compute, event_histogram,
+                                materialize, reference_count, replay)
+
+
+class TestMaterialize:
+    def test_roundtrip(self):
+        events = [Read(1), Compute(5), Write(2)]
+        assert materialize(iter(events)) == events
+        assert list(replay(events)) == events
+
+    def test_dynamic_stream_rejected(self):
+        with pytest.raises(TypeError):
+            materialize(iter([Read(1), TaskDequeue(0)]))
+
+
+class TestCoalesce:
+    def test_adjacent_computes_merge(self):
+        events = [Compute(5), Compute(3), Read(1), Compute(2)]
+        assert list(coalesce_compute(events)) == \
+            [Compute(8), Read(1), Compute(2)]
+
+    def test_non_adjacent_computes_stay_separate(self):
+        events = [Compute(1), Read(0), Compute(1)]
+        assert list(coalesce_compute(events)) == events
+
+    def test_trailing_compute_is_flushed(self):
+        assert list(coalesce_compute([Read(0), Compute(7)])) == \
+            [Read(0), Compute(7)]
+
+    def test_zero_cycle_computes_vanish(self):
+        assert list(coalesce_compute([Compute(0), Read(0)])) == [Read(0)]
+
+    @given(st.lists(st.one_of(
+        st.builds(Compute, st.integers(0, 100)),
+        st.builds(Read, st.integers(0, 1000)),
+        st.builds(Write, st.integers(0, 1000)))))
+    def test_coalescing_preserves_total_time_and_references(self, events):
+        coalesced = list(coalesce_compute(events))
+        total = sum(e.cycles for e in events if isinstance(e, Compute))
+        total_after = sum(e.cycles for e in coalesced
+                          if isinstance(e, Compute))
+        assert total == total_after
+        refs = [e for e in events if not isinstance(e, Compute)]
+        refs_after = [e for e in coalesced if not isinstance(e, Compute)]
+        assert refs == refs_after
+
+
+class TestCounting:
+    def test_histogram(self):
+        events = [Read(0), Read(1), Write(0), Barrier(0, 2)]
+        histogram = event_histogram(events)
+        assert histogram[Read] == 2
+        assert histogram[Write] == 1
+        assert histogram[Barrier] == 1
+
+    def test_reference_count(self):
+        assert reference_count([Read(0), Write(1), Compute(9)]) == 2

@@ -1,0 +1,78 @@
+"""Tests for the binary trace-file format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.events import (Barrier, Compute, Ifetch, LockAcquire,
+                                LockRelease, Read, TaskDequeue, TaskEnqueue,
+                                Write)
+from repro.trace.tracefile import (TraceFormatError, load_trace, save_trace)
+
+ALL_STATIC_EVENTS = st.one_of(
+    st.builds(Compute, st.integers(0, 2**40)),
+    st.builds(Read, st.integers(0, 2**40)),
+    st.builds(Write, st.integers(0, 2**40)),
+    st.builds(Ifetch, st.integers(0, 2**40), st.integers(1, 64)),
+    st.builds(LockAcquire, st.integers(0, 1000)),
+    st.builds(LockRelease, st.integers(0, 1000)),
+    st.builds(Barrier, st.integers(0, 1000), st.integers(1, 64)),
+    st.builds(TaskEnqueue, st.integers(0, 1000), st.integers(0, 2**30)),
+)
+
+
+class TestRoundtrip:
+    def test_simple_roundtrip(self, tmp_path):
+        events = [Read(0x1000), Write(0x2000), Compute(500),
+                  Barrier(1, 8), Ifetch(0x400, 12)]
+        path = tmp_path / "trace.bin"
+        assert save_trace(path, events) == 5
+        assert load_trace(path) == events
+
+    @given(st.lists(ALL_STATIC_EVENTS, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_any_static_stream_roundtrips(self, events):
+        import tempfile, os
+        fd, path = tempfile.mkstemp()
+        os.close(fd)
+        try:
+            save_trace(path, events)
+            assert load_trace(path) == events
+        finally:
+            os.unlink(path)
+
+
+class TestErrors:
+    def test_dynamic_event_not_encodable(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            save_trace(tmp_path / "t.bin", [TaskDequeue(0)])
+
+    def test_non_integer_task_item_not_encodable(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            save_trace(tmp_path / "t.bin", [TaskEnqueue(0, "item")])
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"JUNKxxxxxxxxxxxxxx")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"SC")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        save_trace(path, [Read(1)])
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_truncated_events_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        save_trace(path, [Read(1), Read(2)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises((TraceFormatError, Exception)):
+            load_trace(path)

@@ -1,0 +1,193 @@
+"""Tests for the instrumented Barnes-Hut application."""
+
+import math
+
+import pytest
+
+from repro.core.config import KB, SystemConfig
+from repro.simulation import run_simulation
+from repro.trace.events import (Barrier, Compute, LockAcquire, LockRelease,
+                                Read, Write)
+from repro.workloads.barnes_hut import (BarnesHut, Body, Cell,
+                                        _BarnesHutRun, _bounding_cube,
+                                        _cost_chunks, _quiet_build,
+                                        _tree_ordered_bodies)
+
+
+def small_config(procs=2, clusters=2):
+    return SystemConfig(clusters=clusters, processors_per_cluster=procs,
+                        scc_size=8 * KB)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BarnesHut(n_bodies=1)
+        with pytest.raises(ValueError):
+            BarnesHut(steps=0)
+        with pytest.raises(ValueError):
+            BarnesHut(theta=5.0)
+
+    def test_processes_covers_every_processor(self):
+        app = BarnesHut(n_bodies=32, steps=1)
+        config = small_config()
+        processes = app.processes(config)
+        assert sorted(processes) == list(range(config.total_processors))
+
+
+class TestOctree:
+    def test_quiet_build_holds_every_body_once(self):
+        app = BarnesHut(n_bodies=64, steps=1)
+        run = _BarnesHutRun(app, small_config())
+        root = _quiet_build(run.bodies)
+        ordered = _tree_ordered_bodies(root)
+        assert sorted(b.index for b in ordered) == list(range(64))
+
+    def test_bounding_cube_covers_all_bodies(self):
+        app = BarnesHut(n_bodies=64, steps=1)
+        run = _BarnesHutRun(app, small_config())
+        centre, half = _bounding_cube(run.bodies)
+        for body in run.bodies:
+            for axis in range(3):
+                assert abs(body.pos[axis] - centre[axis]) <= half
+
+    def test_octants_partition_space(self):
+        cell = Cell(0, [0.0, 0.0, 0.0], 1.0, 0)
+        seen = {cell.octant_of([x, y, z])
+                for x in (-0.5, 0.5) for y in (-0.5, 0.5)
+                for z in (-0.5, 0.5)}
+        assert seen == set(range(8))
+
+    def test_child_centres_are_inside_parent(self):
+        cell = Cell(0, [0.0, 0.0, 0.0], 1.0, 0)
+        for octant in range(8):
+            centre = cell.child_centre(octant)
+            assert all(abs(c) == 0.5 for c in centre)
+
+
+class TestCostPartition:
+    def test_chunks_cover_in_order(self):
+        bodies = [Body(i, [0, 0, 0], [0, 0, 0], 1.0) for i in range(10)]
+        chunks = _cost_chunks(bodies, 3)
+        flattened = [b.index for chunk in chunks for b in chunk]
+        assert flattened == list(range(10))
+
+    def test_costs_balance_chunks(self):
+        bodies = [Body(i, [0, 0, 0], [0, 0, 0], 1.0) for i in range(100)]
+        for body in bodies:
+            body.cost = 1 + (body.index % 7)
+        chunks = _cost_chunks(bodies, 4)
+        costs = [sum(b.cost for b in chunk) for chunk in chunks]
+        assert max(costs) < 1.5 * min(costs)
+
+
+class TestPhysics:
+    def test_momentum_is_roughly_conserved(self):
+        """Equal-mass gravity is symmetric, so total momentum drift per
+        step stays near zero (softened forces are exactly pairwise)."""
+        app = BarnesHut(n_bodies=48, steps=2, theta=0.1)  # near-exact
+        config = SystemConfig(clusters=1, processors_per_cluster=1,
+                              scc_size=64 * KB)
+        run = _BarnesHutRun(app, config)
+        before = [sum(b.vel[axis] * b.mass for b in run.bodies)
+                  for axis in range(3)]
+        system_result = run_simulation(config, app)
+        assert system_result.execution_time > 0
+        # Re-derive from a fresh run object driven through simulation.
+        run2 = _BarnesHutRun(app, config)
+        from repro.core.system import MultiprocessorSystem
+        from repro.trace.interleave import TimingInterleaver
+        interleaver = TimingInterleaver(MultiprocessorSystem(config))
+        interleaver.add_process(0, run2.process(0))
+        interleaver.run()
+        after = [sum(b.vel[axis] * b.mass for b in run2.bodies)
+                 for axis in range(3)]
+        for axis in range(3):
+            assert math.isfinite(after[axis])
+            assert abs(after[axis] - before[axis]) < 0.05
+
+    def test_positions_change_between_steps(self):
+        app = BarnesHut(n_bodies=32, steps=1)
+        config = SystemConfig(clusters=1, processors_per_cluster=1)
+        run = _BarnesHutRun(app, config)
+        initial = [list(b.pos) for b in run.bodies]
+        from repro.core.system import MultiprocessorSystem
+        from repro.trace.interleave import TimingInterleaver
+        interleaver = TimingInterleaver(MultiprocessorSystem(config))
+        interleaver.add_process(0, run.process(0))
+        interleaver.run()
+        moved = sum(1 for b, init in zip(run.bodies, initial)
+                    if b.pos != init)
+        assert moved > 16
+
+
+class TestTraceProperties:
+    def test_single_processor_stream_is_well_formed(self):
+        app = BarnesHut(n_bodies=32, steps=1)
+        config = SystemConfig(clusters=1, processors_per_cluster=1)
+        run = _BarnesHutRun(app, config)
+        held = set()
+        events = 0
+        for event in run.process(0):
+            events += 1
+            if isinstance(event, LockAcquire):
+                assert event.lock_id not in held
+                held.add(event.lock_id)
+            elif isinstance(event, LockRelease):
+                assert event.lock_id in held
+                held.remove(event.lock_id)
+            elif isinstance(event, (Read, Write)):
+                assert event.addr >= 0
+            elif isinstance(event, Compute):
+                assert event.cycles >= 0
+        assert not held
+        assert events > 500
+
+    def test_addresses_stay_inside_allocations(self):
+        app = BarnesHut(n_bodies=32, steps=1)
+        config = SystemConfig(clusters=1, processors_per_cluster=1)
+        run = _BarnesHutRun(app, config)
+        lo = min(run.body_region.base, run.cell_region.base)
+        hi = max(run.body_region.end, run.cell_region.end)
+        for event in run.process(0):
+            if isinstance(event, (Read, Write)):
+                assert lo <= event.addr < hi
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution_time(self):
+        app = BarnesHut(n_bodies=48, steps=1, seed=11)
+        config = small_config()
+        first = run_simulation(config, app)
+        second = run_simulation(config, app)
+        assert first.execution_time == second.execution_time
+        assert first.stats.total_scc.reads == second.stats.total_scc.reads
+
+    def test_different_seeds_differ(self):
+        config = small_config()
+        first = run_simulation(config, BarnesHut(n_bodies=48, steps=1,
+                                                 seed=1))
+        second = run_simulation(config, BarnesHut(n_bodies=48, steps=1,
+                                                  seed=2))
+        assert first.execution_time != second.execution_time
+
+
+class TestArchitecturalBehaviour:
+    def test_sharing_reduces_per_cluster_misses(self):
+        """The prefetching effect: two procs sharing an SCC miss less,
+        per reference, than one proc with the same SCC."""
+        app = BarnesHut(n_bodies=96, steps=2)
+        solo = run_simulation(
+            SystemConfig.paper_parallel(1, 4 * KB), app)
+        shared = run_simulation(
+            SystemConfig.paper_parallel(2, 4 * KB), app)
+        assert shared.stats.read_miss_rate < solo.stats.read_miss_rate
+
+    def test_invalidations_flat_with_cluster_width(self):
+        app = BarnesHut(n_bodies=96, steps=2)
+        narrow = run_simulation(
+            SystemConfig.paper_parallel(1, 8 * KB), app)
+        wide = run_simulation(
+            SystemConfig.paper_parallel(4, 8 * KB), app)
+        assert (wide.stats.total_invalidations
+                < narrow.stats.total_invalidations * 1.5 + 50)

@@ -1,0 +1,26 @@
+"""Tests for the workload framework helpers."""
+
+from repro.trace.events import Compute, Read, Write
+from repro.workloads.base import (read_record, read_span, write_record,
+                                  write_span)
+
+
+class TestSpans:
+    def test_read_span_strides(self):
+        events = list(read_span(0x100, 32, stride=8))
+        assert events == [Read(0x100), Read(0x108), Read(0x110),
+                          Read(0x118)]
+
+    def test_write_span(self):
+        events = list(write_span(0x100, 16, stride=16))
+        assert events == [Write(0x100)]
+
+    def test_partial_tail_still_touched(self):
+        # 20 bytes at stride 8 -> offsets 0, 8, 16.
+        assert len(list(read_span(0, 20, stride=8))) == 3
+
+    def test_record_helpers_add_compute(self):
+        events = list(read_record(0, 16, compute=10))
+        assert events[-1] == Compute(10)
+        events = list(write_record(0, 16, compute=0))
+        assert all(isinstance(e, Write) for e in events)

@@ -1,0 +1,178 @@
+"""Tests for sparse patterns and symbolic Cholesky analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.matrices import (SparsePattern, bcsstk_like,
+                                      elimination_tree, supernodes,
+                                      symbolic_factor)
+
+
+def random_pattern(n, density, seed):
+    """Helper: random symmetric lower pattern with full diagonal."""
+    rng = np.random.default_rng(seed)
+    columns = []
+    for j in range(n):
+        rows = {j}
+        for i in range(j + 1, n):
+            if rng.uniform() < density:
+                rows.add(i)
+        columns.append(tuple(sorted(rows)))
+    return SparsePattern(n=n, columns=tuple(columns))
+
+
+class TestSparsePattern:
+    def test_validation_catches_missing_diagonal(self):
+        with pytest.raises(ValueError):
+            SparsePattern(n=2, columns=((0,), (0,)))
+
+    def test_validation_catches_unsorted(self):
+        with pytest.raises(ValueError):
+            SparsePattern(n=2, columns=((0, 1, 1), (1,)))
+
+    def test_validation_catches_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparsePattern(n=2, columns=((0, 5), (1,)))
+
+    def test_nnz(self):
+        pattern = SparsePattern(n=3, columns=((0, 1), (1, 2), (2,)))
+        assert pattern.nnz == 5
+
+
+class TestBcsstkLike:
+    def test_deterministic(self):
+        assert bcsstk_like(n=64, seed=9).columns == \
+            bcsstk_like(n=64, seed=9).columns
+
+    def test_seed_changes_pattern(self):
+        assert bcsstk_like(n=64, seed=1).columns != \
+            bcsstk_like(n=64, seed=2).columns
+
+    def test_structure_is_valid_and_sparse(self):
+        pattern = bcsstk_like(n=200)
+        assert pattern.n == 200
+        assert pattern.nnz < 200 * 40   # genuinely sparse
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            bcsstk_like(n=1)
+        with pytest.raises(ValueError):
+            bcsstk_like(leaf=1)
+        with pytest.raises(ValueError):
+            bcsstk_like(band=0)
+        with pytest.raises(ValueError):
+            bcsstk_like(separator_fraction=0.6)
+
+    def test_dissection_gives_a_bushy_tree(self):
+        """The point of the generator: multiple independent subtrees so
+        the factorization has early parallelism."""
+        pattern = bcsstk_like(n=300)
+        factor, parent = symbolic_factor(pattern)
+        children = [0] * pattern.n
+        for j, p in enumerate(parent):
+            if p >= 0:
+                children[p] += 1
+        # At least a handful of branch points.
+        assert sum(1 for c in children if c >= 2) >= 4
+
+
+class TestEliminationTree:
+    def test_matches_symbolic_factor_parent(self):
+        pattern = bcsstk_like(n=120, seed=4)
+        factor, parent_from_factor = symbolic_factor(pattern)
+        assert elimination_tree(pattern) == parent_from_factor
+
+    def test_parents_point_later(self):
+        pattern = bcsstk_like(n=80)
+        parent = elimination_tree(pattern)
+        for j, p in enumerate(parent):
+            assert p == -1 or p > j
+
+    @given(st.integers(2, 30), st.floats(0.05, 0.5), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_symbolic_factor_on_random_patterns(
+            self, n, density, seed):
+        pattern = random_pattern(n, density, seed)
+        _, parent = symbolic_factor(pattern)
+        assert elimination_tree(pattern) == parent
+
+
+class TestSymbolicFactor:
+    def test_factor_contains_original_pattern(self):
+        pattern = bcsstk_like(n=100)
+        factor, _ = symbolic_factor(pattern)
+        for j in range(pattern.n):
+            assert set(pattern.columns[j]) <= set(factor.columns[j])
+
+    def test_factor_matches_dense_cholesky_structure(self):
+        """The symbolic structure must cover the numeric fill of an SPD
+        matrix with that pattern (the fill-path theorem, verified
+        numerically)."""
+        pattern = random_pattern(24, 0.2, seed=7)
+        factor, _ = symbolic_factor(pattern)
+        rng = np.random.default_rng(7)
+        dense = np.zeros((24, 24))
+        for j in range(24):
+            for i in pattern.columns[j]:
+                if i != j:
+                    dense[i, j] = dense[j, i] = rng.uniform(0.1, 1.0)
+        np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+        chol = np.linalg.cholesky(dense)
+        for j in range(24):
+            numeric_rows = set(np.nonzero(np.abs(chol[:, j]) > 1e-12)[0])
+            assert numeric_rows <= set(factor.columns[j])
+
+    @given(st.integers(2, 25), st.floats(0.05, 0.5), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_struct_nesting_property(self, n, density, seed):
+        """struct(j) minus {j} is a subset of struct(parent(j)) -- the
+        fundamental supernodal property."""
+        pattern = random_pattern(n, density, seed)
+        factor, parent = symbolic_factor(pattern)
+        for j in range(n):
+            p = parent[j]
+            if p >= 0:
+                assert (set(factor.columns[j]) - {j}
+                        <= set(factor.columns[p]))
+
+
+class TestSupernodes:
+    def test_cover_all_columns_exactly_once(self):
+        pattern = bcsstk_like(n=200)
+        factor, parent = symbolic_factor(pattern)
+        nodes = supernodes(factor, parent)
+        covered = []
+        for node in nodes:
+            covered.extend(range(node.first, node.last + 1))
+        assert covered == list(range(pattern.n))
+
+    def test_width_cap_respected(self):
+        pattern = bcsstk_like(n=200)
+        factor, parent = symbolic_factor(pattern)
+        for node in supernodes(factor, parent, max_width=3):
+            assert node.width <= 3
+
+    def test_rows_start_with_own_columns(self):
+        pattern = bcsstk_like(n=150)
+        factor, parent = symbolic_factor(pattern)
+        for node in supernodes(factor, parent):
+            assert list(node.rows[:node.width]) == \
+                list(range(node.first, node.last + 1))
+
+    def test_rows_cover_member_structures(self):
+        pattern = bcsstk_like(n=150)
+        factor, parent = symbolic_factor(pattern)
+        for node in supernodes(factor, parent, relax=4):
+            union = set(node.rows)
+            for col in range(node.first, node.last + 1):
+                assert set(factor.columns[col]) <= union
+
+    def test_relax_zero_gives_fundamental_supernodes(self):
+        pattern = bcsstk_like(n=150)
+        factor, parent = symbolic_factor(pattern)
+        for node in supernodes(factor, parent, relax=0):
+            for col in range(node.first + 1, node.last + 1):
+                assert parent[col - 1] == col
+                assert set(factor.columns[col]) == \
+                    set(factor.columns[col - 1]) - {col - 1}

@@ -1,0 +1,102 @@
+"""Tests for the simulated shared heap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.memory import (ArrayRegion, HeapExhaustedError, Region,
+                                    SharedHeap)
+
+
+class TestRegion:
+    def test_addr_and_bounds(self):
+        region = Region("r", base=0x1000, size=64)
+        assert region.addr(0) == 0x1000
+        assert region.addr(63) == 0x103F
+        assert region.end == 0x1040
+        with pytest.raises(IndexError):
+            region.addr(64)
+        with pytest.raises(IndexError):
+            region.addr(-1)
+
+    def test_contains(self):
+        region = Region("r", base=0x1000, size=64)
+        assert region.contains(0x1000)
+        assert region.contains(0x103F)
+        assert not region.contains(0x1040)
+        assert not region.contains(0xFFF)
+
+
+class TestArrayRegion:
+    def test_record_addressing(self):
+        array = ArrayRegion("a", base=0x2000, count=10, record_size=48)
+        assert array.record(0) == 0x2000
+        assert array.record(1) == 0x2030
+        assert array.record(2, field_offset=8) == 0x2068
+        assert array.size == 480
+
+    def test_record_bounds(self):
+        array = ArrayRegion("a", base=0, count=4, record_size=16)
+        with pytest.raises(IndexError):
+            array.record(4)
+        with pytest.raises(IndexError):
+            array.record(0, field_offset=16)
+
+
+class TestSharedHeap:
+    def test_allocations_do_not_overlap(self):
+        heap = SharedHeap()
+        first = heap.alloc("a", 100)
+        second = heap.alloc("b", 100)
+        assert first.end <= second.base
+
+    def test_alignment_defaults_to_a_cache_line(self):
+        heap = SharedHeap()
+        heap.alloc("pad", 7)
+        region = heap.alloc("aligned", 64)
+        assert region.base % 16 == 0
+
+    def test_custom_alignment(self):
+        heap = SharedHeap()
+        heap.alloc("pad", 3)
+        region = heap.alloc("page", 64, alignment=4096)
+        assert region.base % 4096 == 0
+
+    def test_duplicate_names_rejected(self):
+        heap = SharedHeap()
+        heap.alloc("x", 16)
+        with pytest.raises(ValueError):
+            heap.alloc("x", 16)
+
+    def test_lookup_by_name(self):
+        heap = SharedHeap()
+        region = heap.alloc("x", 16)
+        assert heap.region("x") is region
+
+    def test_exhaustion(self):
+        heap = SharedHeap(base=0, limit=1024)
+        heap.alloc("big", 1000)
+        with pytest.raises(HeapExhaustedError):
+            heap.alloc("more", 1000)
+
+    def test_rejects_nonsense(self):
+        heap = SharedHeap()
+        with pytest.raises(ValueError):
+            heap.alloc("zero", 0)
+        with pytest.raises(ValueError):
+            heap.alloc("badalign", 16, alignment=3)
+        with pytest.raises(ValueError):
+            heap.alloc_array("badcount", 0, 8)
+        with pytest.raises(ValueError):
+            SharedHeap(alignment=12)
+        with pytest.raises(ValueError):
+            SharedHeap(base=100, limit=100)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=40))
+    def test_allocations_are_disjoint_and_ordered(self, sizes):
+        heap = SharedHeap()
+        regions = [heap.alloc(f"r{i}", size)
+                   for i, size in enumerate(sizes)]
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end <= later.base
+        assert heap.bytes_allocated >= sum(sizes)

@@ -1,0 +1,82 @@
+"""Tests for the round-robin multiprogramming scheduler."""
+
+import pytest
+
+from repro.core.config import KB, SystemConfig
+from repro.simulation import run_simulation
+from repro.workloads.multiprog import MultiprogrammingWorkload, _SchedulerRun
+from repro.workloads.spec import SPEC92_PROFILES, SpecApp
+
+
+def small_workload(**overrides):
+    defaults = dict(instructions_per_app=4000, quantum_instructions=1000,
+                    scale=8)
+    defaults.update(overrides)
+    return MultiprogrammingWorkload(**defaults)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultiprogrammingWorkload(instructions_per_app=0)
+        with pytest.raises(ValueError):
+            MultiprogrammingWorkload(quantum_instructions=0)
+
+    def test_default_mix_is_the_eight_spec_apps(self):
+        apps = MultiprogrammingWorkload().build_apps()
+        assert len(apps) == 8
+
+    def test_custom_apps_are_used(self):
+        custom = [SpecApp(0, SPEC92_PROFILES[0], scale=8)]
+        workload = small_workload(apps=custom)
+        assert workload.build_apps() == custom
+
+
+class TestScheduling:
+    def test_every_app_executes_its_full_budget(self):
+        workload = small_workload()
+        config = SystemConfig.paper_multiprogramming(2, 4 * KB)
+        run = _SchedulerRun(workload, config)
+        from repro.core.system import MultiprocessorSystem
+        from repro.trace.interleave import TimingInterleaver
+        interleaver = TimingInterleaver(MultiprocessorSystem(config))
+        for pid in range(config.total_processors):
+            interleaver.add_process(pid, run.process(pid))
+        interleaver.run()
+        assert run.unfinished == 0
+        assert all(left == 0 for left in run.remaining.values())
+        for app in run.apps:
+            assert app.instructions_executed == 4000
+
+    def test_more_processors_than_apps_still_terminates(self):
+        workload = small_workload(instructions_per_app=2000)
+        config = SystemConfig.paper_multiprogramming(8, 4 * KB)
+        result = run_simulation(config, workload)
+        assert result.execution_time > 0
+
+    def test_throughput_improves_with_processors(self):
+        workload = small_workload(instructions_per_app=8000,
+                                  quantum_instructions=2000)
+        slow = run_simulation(
+            SystemConfig.paper_multiprogramming(1, 16 * KB), workload)
+        fast = run_simulation(
+            SystemConfig.paper_multiprogramming(4, 16 * KB), workload)
+        assert fast.execution_time < slow.execution_time
+
+    def test_interference_raises_miss_rate(self):
+        """Figure 6's mechanism: co-scheduled processes interfere in the
+        shared SCC."""
+        workload = small_workload(instructions_per_app=20_000,
+                                  quantum_instructions=5_000)
+        solo = run_simulation(
+            SystemConfig.paper_multiprogramming(1, 4 * KB), workload)
+        crowded = run_simulation(
+            SystemConfig.paper_multiprogramming(8, 4 * KB), workload)
+        assert (crowded.stats.total_scc.miss_rate
+                > solo.stats.total_scc.miss_rate)
+
+    def test_deterministic(self):
+        workload = small_workload()
+        config = SystemConfig.paper_multiprogramming(2, 8 * KB)
+        assert (run_simulation(config, workload).execution_time
+                == run_simulation(config, workload).execution_time)

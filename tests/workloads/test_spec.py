@@ -1,0 +1,102 @@
+"""Tests for the SPEC92-like synthetic reference generators."""
+
+import pytest
+
+from repro.trace.events import Ifetch, Read, Write
+from repro.workloads.spec import (SPEC92_PROFILES, SpecApp, SpecProfile,
+                                  spec92_workload)
+
+
+def first_profile():
+    return SPEC92_PROFILES[0]
+
+
+class TestProfiles:
+    def test_eight_applications(self):
+        assert len(SPEC92_PROFILES) == 8
+        names = {profile.name for profile in SPEC92_PROFILES}
+        assert names == {"sc", "espresso", "eqntott", "xlisp", "compress",
+                         "gcc", "spice", "wave5"}
+
+    def test_fractions_are_sane(self):
+        for profile in SPEC92_PROFILES:
+            assert 0 < profile.refs_per_instruction < 1
+            assert 0 <= profile.write_fraction <= 1
+            assert (profile.stack_fraction + profile.scan_fraction) < 1
+            assert profile.hot_bytes < profile.data_bytes
+
+
+class TestSpecApp:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            SpecApp(0, first_profile(), scale=0)
+
+    def test_burst_executes_requested_instructions(self):
+        app = SpecApp(0, first_profile(), scale=8)
+        list(app.burst(1000))
+        assert app.instructions_executed == 1000
+        list(app.burst(500))
+        assert app.instructions_executed == 1500
+
+    def test_burst_mixes_fetches_and_data(self):
+        app = SpecApp(0, first_profile(), scale=8)
+        events = list(app.burst(2000))
+        kinds = {type(e) for e in events}
+        assert Ifetch in kinds
+        assert Read in kinds
+        assert Write in kinds
+
+    def test_data_reference_density_matches_profile(self):
+        profile = first_profile()
+        app = SpecApp(0, profile, scale=8)
+        events = list(app.burst(20_000))
+        refs = sum(1 for e in events if isinstance(e, (Read, Write)))
+        expected = profile.refs_per_instruction * 20_000
+        assert abs(refs - expected) < expected * 0.15
+
+    def test_streams_are_deterministic(self):
+        first = list(SpecApp(3, first_profile(), seed=9).burst(3000))
+        second = list(SpecApp(3, first_profile(), seed=9).burst(3000))
+        assert first == second
+
+    def test_stream_is_resumable(self):
+        whole = list(SpecApp(1, first_profile(), seed=5).burst(4000))
+        split_app = SpecApp(1, first_profile(), seed=5)
+        split = list(split_app.burst(1000)) + list(split_app.burst(3000))
+        # Same instruction count and same data references; fetch events
+        # may split differently at the quantum boundary.
+        def data(events):
+            return [e for e in events if isinstance(e, (Read, Write))]
+        assert data(whole) == data(split)
+
+    def test_address_spaces_are_disjoint(self):
+        apps = spec92_workload(scale=8)
+        spans = []
+        for app in apps:
+            addrs = [e.addr for e in app.burst(2000)
+                     if isinstance(e, (Read, Write, Ifetch))]
+            spans.append((min(addrs), max(addrs)))
+        spans.sort()
+        for (_, hi), (lo, _) in zip(spans, spans[1:]):
+            assert hi < lo
+
+    def test_scan_walks_sequentially(self):
+        profile = SpecProfile("scanner", code_bytes=4096, data_bytes=65536,
+                              hot_bytes=1024, scan_fraction=0.9,
+                              write_fraction=0.0,
+                              refs_per_instruction=0.5,
+                              stack_fraction=0.0)
+        app = SpecApp(0, profile, scale=1)
+        addrs = [e.addr for e in app.burst(2000)
+                 if isinstance(e, Read) and app.scan_base <= e.addr
+                 < app.scan_base + app.scan_bytes]
+        diffs = [b - a for a, b in zip(addrs, addrs[1:])]
+        # Overwhelmingly forward strides of 16 bytes.
+        forward = sum(1 for d in diffs if d == 16)
+        assert forward > len(diffs) * 0.75
+
+    def test_scale_shrinks_working_sets(self):
+        big = SpecApp(0, first_profile(), scale=1)
+        small = SpecApp(0, first_profile(), scale=8)
+        assert small.hot_bytes <= big.hot_bytes // 8 + 128
+        assert small.code_bytes <= big.code_bytes // 8 + 256

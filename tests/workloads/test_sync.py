@@ -1,0 +1,27 @@
+"""Tests for the synchronization namespace."""
+
+import pytest
+
+from repro.workloads.sync import SyncNamespace
+
+
+class TestSyncNamespace:
+    def test_names_are_stable(self):
+        ns = SyncNamespace()
+        first = ns.lock("tree")
+        assert ns.lock("tree") == first
+
+    def test_ids_are_dense_per_kind(self):
+        ns = SyncNamespace()
+        assert ns.lock("a") == 0
+        assert ns.lock("b") == 1
+        assert ns.barrier("a") == 0   # separate namespace
+        assert ns.queue("a") == 0
+
+    def test_reverse_lookup(self):
+        ns = SyncNamespace()
+        ns.lock("alpha")
+        ns.lock("beta")
+        assert ns.lock_name(1) == "beta"
+        with pytest.raises(KeyError):
+            ns.lock_name(5)
