@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch the inter-cluster bus saturate, cycle by cycle.
+
+Section 3.1.2 of the paper explains MP3D's poor shared-cache scaling by
+bus saturation: many processors over small SCCs generate enough miss and
+invalidation traffic that the snoopy bus becomes the bottleneck.
+End-of-run averages understate this -- the interesting fact is *when*
+and *how hard* the bus is pinned.
+
+This example instruments two MP3D runs with
+:class:`repro.instrument.InstrumentationProbe`:
+
+* a **saturated** design point: 8 processors per cluster, 4 KB SCCs;
+* a **comfortable** one: 2 processors per cluster, 64 KB SCCs;
+
+then prints their binned bus-utilization timelines side by side as
+sparklines and writes a Chrome-trace JSON for each -- open them in
+https://ui.perfetto.dev to see every bus grant, bank conflict, and
+processor stall (1 trace us = 1 simulated cycle).
+
+Usage:  python examples/profile_bus_saturation.py
+"""
+
+from repro import KB, SystemConfig, run_simulation
+from repro.instrument import InstrumentationProbe, write_chrome_trace
+from repro.workloads import MP3D
+
+BINS = 48
+LEVELS = " ..:-=+*#%@"
+
+
+def sparkline(values):
+    top = len(LEVELS) - 1
+    return "".join(LEVELS[round(min(max(v, 0.0), 1.0) * top)]
+                   for v in values)
+
+
+def profile(label, procs_per_cluster, scc_size, trace_path):
+    config = SystemConfig.paper_parallel(
+        processors_per_cluster=procs_per_cluster, scc_size=scc_size)
+    probe = InstrumentationProbe(bin_width=512)
+    result = run_simulation(config, MP3D(n_particles=300, steps=2),
+                            instrumentation=probe)
+    probe.rebin(BINS)
+    utilization = probe.bus_utilization()
+    summary = probe.summary()
+    print(f"{label}: {config.clusters} clusters x {procs_per_cluster} "
+          f"procs, {scc_size // KB} KB SCC")
+    print(f"  execution time : {result.execution_time:>9,} cycles")
+    print(f"  bus peak/mean  : "
+          f"{100 * summary['bus_peak_utilization']:5.1f} % / "
+          f"{100 * summary['bus_mean_utilization']:5.1f} %")
+    print(f"  utilization    [{sparkline(utilization)}]")
+    path = write_chrome_trace(probe, trace_path, config=config)
+    print(f"  trace          : {path} (open in ui.perfetto.dev)")
+    print()
+    return summary["bus_peak_utilization"]
+
+
+def main():
+    print("MP3D, 300 particles, 2 steps -- inter-cluster bus pressure\n")
+    hot = profile("saturated  ", 8, 4 * KB, "mp3d_saturated.json")
+    cool = profile("comfortable", 2, 64 * KB, "mp3d_comfortable.json")
+    print(f"The saturated design pins the bus at "
+          f"{100 * hot:.0f} % while the comfortable one peaks at "
+          f"{100 * cool:.0f} % -- the Section 3.1.2 bottleneck, "
+          f"resolved in time.")
+
+
+if __name__ == "__main__":
+    main()

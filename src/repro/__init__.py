@@ -30,9 +30,10 @@ Quick start::
 from .core.config import KB, SystemConfig
 from .core.stats import ProcessorStats, SccStats, SystemStats
 from .core.system import MultiprocessorSystem
+from .instrument import InstrumentationProbe, write_chrome_trace
 from .simulation import SimulationResult, build_system, run_simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "KB",
@@ -41,6 +42,8 @@ __all__ = [
     "SccStats",
     "SystemStats",
     "MultiprocessorSystem",
+    "InstrumentationProbe",
+    "write_chrome_trace",
     "SimulationResult",
     "build_system",
     "run_simulation",

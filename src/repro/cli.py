@@ -5,8 +5,12 @@ Python:
 
 * ``simulate`` -- run one benchmark on one machine configuration and
   print the headline statistics;
+* ``profile`` -- run one benchmark with cycle-level instrumentation,
+  print utilization timelines, and optionally export a Chrome-trace
+  JSON that opens in ``ui.perfetto.dev``;
 * ``sweep`` -- run a benchmark over the paper's processor-cache grid
-  and print its speedup table and figure series;
+  (optionally on several worker processes) and print its speedup table
+  and figure series;
 * ``report`` -- regenerate a specific table or figure of the paper
   (cost-model ones instantly, simulation ones via the cached sweeps).
 
@@ -14,7 +18,8 @@ Examples::
 
     python -m repro simulate barnes-hut --procs 2 --scc 8KB
     python -m repro simulate mp3d --procs 4 --scc 4KB --organization private
-    python -m repro sweep cholesky --profile quick
+    python -m repro profile mp3d --procs 8 --scc 4KB --trace-out mp3d.json
+    python -m repro sweep cholesky --profile quick --jobs 4
     python -m repro report table6
     python -m repro list
 """
@@ -38,9 +43,15 @@ MODEL_REPORTS = ("table5", "costs")
 
 
 def parse_size(text: str) -> int:
-    """Parse ``8KB``/``512B``/``4096`` into bytes."""
+    """Parse ``8KB``/``4mb``/``512B``/``4096`` into bytes.
+
+    Suffixes are case-insensitive (``8KB``, ``8kb``, ``8Kb`` all work);
+    plain integers are bytes.
+    """
     cleaned = text.strip().upper().replace(" ", "")
     try:
+        if cleaned.endswith("MB"):
+            return int(cleaned[:-2]) * KB * KB
         if cleaned.endswith("KB"):
             return int(cleaned[:-2]) * KB
         if cleaned.endswith("B"):
@@ -48,7 +59,8 @@ def parse_size(text: str) -> int:
         return int(cleaned)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"cannot parse size {text!r}; use forms like 8KB or 512B"
+            f"cannot parse size {text!r}; accepted forms: plain bytes "
+            f"(4096), B (512B), KB (8KB), MB (1MB) -- any letter case"
         ) from None
 
 
@@ -73,12 +85,41 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--associativity", type=int, default=1)
     simulate.add_argument("--line-size", type=parse_size, default=16)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run one benchmark instrumented; print utilization "
+             "timelines and export a Perfetto trace")
+    profile.add_argument("benchmark", choices=BENCHMARKS)
+    profile.add_argument("--procs", type=int, default=2,
+                         help="processors per cluster (default 2)")
+    profile.add_argument("--scc", type=parse_size, default=8 * KB,
+                         help="simulated SCC size, e.g. 8KB")
+    profile.add_argument("--clusters", type=int, default=None,
+                         help="clusters (default: 4; multiprogramming: 1)")
+    profile.add_argument("--organization", default="shared-scc",
+                         choices=("shared-scc", "private"))
+    profile.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome-trace JSON viewable in "
+                              "ui.perfetto.dev")
+    profile.add_argument("--timeline-bins", type=int, default=64,
+                         help="bins the printed timelines collapse to "
+                              "(default 64)")
+    profile.add_argument("--bin-width", type=int, default=512,
+                         help="timeline resolution in cycles while "
+                              "recording (default 512)")
+    profile.add_argument("--max-events", type=int, default=100_000,
+                         help="raw events retained for the trace export "
+                              "(deterministically decimated beyond this)")
+
     sweep = commands.add_parser(
         "sweep", help="run the paper's grid for one benchmark")
     sweep.add_argument("benchmark", choices=BENCHMARKS)
     sweep.add_argument("--profile", default=None,
                        choices=("quick", "paper"),
                        help="workload sizing (default: REPRO_PROFILE)")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="simulate uncached grid points on N worker "
+                            "processes (default: serial)")
 
     report = commands.add_parser(
         "report", help="regenerate one table/figure of the paper")
@@ -96,18 +137,24 @@ def _profile(name: Optional[str]):
     return PROFILES[name] if name else active_profile()
 
 
-def _cmd_simulate(args) -> int:
+def _cli_config(args) -> SystemConfig:
+    """Machine configuration shared by ``simulate`` and ``profile``."""
     clusters = args.clusters
     if clusters is None:
         clusters = 1 if args.benchmark == "multiprogramming" else 4
-    config = SystemConfig(
+    return SystemConfig(
         clusters=clusters,
         processors_per_cluster=args.procs,
         scc_size=args.scc,
-        associativity=args.associativity,
-        line_size=args.line_size,
+        associativity=getattr(args, "associativity", 1),
+        line_size=getattr(args, "line_size", 16),
         cluster_organization=args.organization,
         model_icache=args.benchmark == "multiprogramming")
+
+
+def _cmd_simulate(args) -> int:
+    config = _cli_config(args)
+    clusters = config.clusters
     from .experiments import PROFILES
     workload = PROFILES["quick"].workload(args.benchmark)
     result = run_simulation(config, workload)
@@ -130,15 +177,87 @@ def _cmd_sweep(args) -> int:
                               render_figure6, render_speedups)
     profile = _profile(args.profile)
     if args.benchmark == "multiprogramming":
-        sweep = multiprogramming_sweep(profile)
+        sweep = multiprogramming_sweep(profile, jobs=args.jobs)
         print(render_figure5(sweep))
         print()
         print(render_figure6(sweep))
     else:
-        sweep = parallel_sweep(args.benchmark, profile)
+        sweep = parallel_sweep(args.benchmark, profile, jobs=args.jobs)
         print(render_figure(args.benchmark, sweep))
         print()
         print(render_speedups(args.benchmark, sweep))
+    return 0
+
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, peak: float = None) -> str:
+    """Render ``values`` as a unicode bar-per-bin strip."""
+    top = peak if peak else (max(values) if values else 0.0)
+    if top <= 0:
+        return " " * len(values)
+    scale = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(scale, int(round(scale * value / top)))]
+        for value in values)
+
+
+def _cmd_profile(args) -> int:
+    from .instrument import InstrumentationProbe, write_chrome_trace
+    from .experiments import PROFILES
+    config = _cli_config(args)
+    probe = InstrumentationProbe(bin_width=args.bin_width,
+                                 max_events=args.max_events)
+    workload = PROFILES["quick"].workload(args.benchmark)
+    result = run_simulation(config, workload, instrumentation=probe)
+    stats = result.stats
+    bins = max(1, args.timeline_bins)
+    probe.rebin(bins)
+
+    bus = probe.registry.timeline("bus.occupancy")
+    utilization = bus.utilization_series()
+    summary = probe.summary()
+    print(f"benchmark          : {args.benchmark}")
+    print(f"configuration      : {config.clusters} clusters x "
+          f"{config.processors_per_cluster} procs, {config.scc_size:,} B "
+          f"SCC, {config.cluster_organization}")
+    print(f"execution time     : {stats.execution_time:,} cycles")
+    print(f"bus transactions   : {int(summary.get('bus_transactions', 0)):,}")
+    print(f"bus utilization    : peak "
+          f"{100 * summary.get('bus_peak_utilization', 0.0):.1f} %, "
+          f"mean {100 * summary.get('bus_mean_utilization', 0.0):.1f} %")
+    print(f"bank conflicts     : "
+          f"{int(summary.get('bank_conflict_cycles', 0)):,} cycles over "
+          f"{int(summary.get('bank_conflict_events', 0)):,} events")
+    print(f"write buffer       : peak depth "
+          f"{int(summary.get('write_buffer_peak_depth', 0))}, "
+          f"{int(summary.get('write_buffer_stall_cycles', 0)):,} "
+          f"stall cycles")
+    print()
+    print(f"bus occupancy ({len(utilization)} bins x "
+          f"{bus.bin_width:,} cycles, full block = 100 %):")
+    print(f"  [{_sparkline(utilization, peak=1.0)}]")
+    conflict = probe.registry.merged("cluster", bins)
+    conflict_series = [value for value in conflict.series()]
+    if any(conflict_series):
+        print("bank conflict + write-buffer pressure:")
+        print(f"  [{_sparkline(conflict_series)}]")
+    print()
+    print("per-processor cycle breakdown (busy / memory / sync):")
+    for proc_id, proc in enumerate(stats.processors):
+        total = max(1, proc.total_cycles)
+        print(f"  proc {proc_id:2d}: "
+              f"{100 * proc.busy_cycles / total:5.1f} % / "
+              f"{100 * proc.memory_stall_cycles / total:5.1f} % / "
+              f"{100 * proc.sync_stall_cycles / total:5.1f} %")
+    if args.trace_out:
+        path = write_chrome_trace(probe, args.trace_out, config=config)
+        recorded = int(summary.get("events_recorded", 0))
+        dropped = int(summary.get("events_dropped", 0))
+        print()
+        print(f"trace written      : {path} ({recorded:,} events kept, "
+              f"{dropped:,} decimated) -- open in ui.perfetto.dev")
     return 0
 
 
@@ -193,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "report":

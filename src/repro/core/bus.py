@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..instrument.probes import NULL_PROBE
+
 __all__ = ["BusTransaction", "SnoopyBus"]
 
 
@@ -34,12 +36,17 @@ class BusTransaction:
 class SnoopyBus:
     """Single shared split-transaction bus with FCFS arbitration."""
 
-    __slots__ = ("_busy_until", "transactions", "busy_cycles")
+    __slots__ = ("_busy_until", "transactions", "busy_cycles", "probe",
+                 "name")
 
-    def __init__(self) -> None:
+    def __init__(self, probe=NULL_PROBE, name: str = "bus") -> None:
         self._busy_until = 0
         self.transactions = 0
         self.busy_cycles = 0
+        self.probe = probe
+        """Instrumentation sink (:data:`~repro.instrument.probes.
+        NULL_PROBE` when profiling is off)."""
+        self.name = name
 
     def acquire(self, now: int, occupancy: int, latency: int) -> BusTransaction:
         """Arbitrate for the bus at time ``now``.
@@ -57,6 +64,9 @@ class SnoopyBus:
         self._busy_until = start + occupancy
         self.transactions += 1
         self.busy_cycles += occupancy
+        probe = self.probe
+        if probe is not NULL_PROBE:
+            probe.bus_acquire(self.name, now, start, occupancy)
         return BusTransaction(start=start, wait=start - now,
                               done=start + latency)
 

@@ -13,6 +13,7 @@ from .config import SystemConfig
 from .icache import InstructionCache
 from .processor import ProcessorState
 from .scc import SharedClusterCache
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["Cluster"]
 
@@ -22,15 +23,16 @@ class Cluster:
 
     __slots__ = ("config", "cluster_id", "scc", "processors", "icaches")
 
-    def __init__(self, config: SystemConfig, cluster_id: int):
+    def __init__(self, config: SystemConfig, cluster_id: int,
+                 probe=NULL_PROBE):
         if not 0 <= cluster_id < config.clusters:
             raise ValueError("cluster_id out of range")
         self.config = config
         self.cluster_id = cluster_id
-        self.scc = SharedClusterCache(config, cluster_id)
+        self.scc = SharedClusterCache(config, cluster_id, probe=probe)
         first = cluster_id * config.processors_per_cluster
         self.processors: List[ProcessorState] = [
-            ProcessorState(first + i, cluster_id)
+            ProcessorState(first + i, cluster_id, probe=probe)
             for i in range(config.processors_per_cluster)
         ]
         self.icaches: List[InstructionCache] = [

@@ -38,6 +38,7 @@ from .bus import SnoopyBus
 from .cache import EXCLUSIVE, INVALID, MODIFIED, SHARED
 from .config import SystemConfig
 from .scc import SharedClusterCache
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["AccessOutcome", "CoherenceController"]
 
@@ -62,15 +63,17 @@ class AccessOutcome:
 class CoherenceController:
     """Protocol engine spanning all SCCs and the inter-cluster bus."""
 
-    __slots__ = ("config", "sccs", "bus")
+    __slots__ = ("config", "sccs", "bus", "probe")
 
     def __init__(self, config: SystemConfig,
-                 sccs: Sequence[SharedClusterCache], bus: SnoopyBus):
+                 sccs: Sequence[SharedClusterCache], bus: SnoopyBus,
+                 probe=NULL_PROBE):
         if len(sccs) != config.clusters:
             raise ValueError("one SCC per cluster required")
         self.config = config
         self.sccs = list(sccs)
         self.bus = bus
+        self.probe = probe
 
     # ------------------------------------------------------------------
     # Data access entry point (bank already claimed by the caller)
@@ -104,6 +107,9 @@ class CoherenceController:
             scc.array.touch(line)
             ready = scc.fill_ready_time(line, start)
             done = (ready if ready is not None else start) + 1
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(scc.cluster_id, line, False, True,
+                                        start, done)
             return AccessOutcome(complete=done, retire=done, hit=True)
 
         scc.stats.read_misses += 1
@@ -119,6 +125,9 @@ class CoherenceController:
             # earn a silent upgrade if we write it later.
             state = EXCLUSIVE
         self._install(scc, line, state, start=start, ready=tx.done)
+        if self.probe is not NULL_PROBE:
+            self.probe.cache_access(scc.cluster_id, line, False, False,
+                                    start, tx.done + 1)
         return AccessOutcome(complete=tx.done + 1, retire=tx.done + 1,
                              hit=False, bus_wait=tx.wait)
 
@@ -157,6 +166,9 @@ class CoherenceController:
             scc.array.touch(line)
             ready = scc.fill_ready_time(line, start)
             done = (ready if ready is not None else start) + 1
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(scc.cluster_id, line, True, True,
+                                        start, done)
             return AccessOutcome(complete=done, retire=done, hit=True)
 
         if state == SHARED:
@@ -168,6 +180,11 @@ class CoherenceController:
                                   self.config.upgrade_bus_occupancy)
             killed = self._invalidate_remote(scc, line)
             scc.array.set_state(line, MODIFIED)
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(scc.cluster_id, line, True, True,
+                                        start, start + 1)
+                self.probe.invalidation(scc.cluster_id, line, killed,
+                                        tx.start)
             return AccessOutcome(complete=start + 1, retire=tx.done,
                                  hit=True, bus_wait=tx.wait,
                                  invalidations=killed)
@@ -181,6 +198,10 @@ class CoherenceController:
         scc.stats.bus_wait_cycles += tx.wait
         killed = self._invalidate_remote(scc, line)
         self._install(scc, line, MODIFIED, start=start, ready=tx.done)
+        if self.probe is not NULL_PROBE:
+            self.probe.cache_access(scc.cluster_id, line, True, False,
+                                    start, tx.done)
+            self.probe.invalidation(scc.cluster_id, line, killed, tx.start)
         return AccessOutcome(complete=start + 1, retire=tx.done, hit=False,
                              bus_wait=tx.wait, invalidations=killed)
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import List, Tuple
 
+from ..instrument.probes import NULL_PROBE
+
 __all__ = ["BankInterconnect"]
 
 
@@ -27,10 +29,11 @@ class BankInterconnect:
 
     __slots__ = ("num_banks", "bank_cycle_time", "write_buffer_depth",
                  "_bank_free", "_write_buffers", "conflict_cycles",
-                 "write_stall_cycles")
+                 "write_stall_cycles", "probe", "cluster_id")
 
     def __init__(self, num_banks: int, bank_cycle_time: int = 1,
-                 write_buffer_depth: int = 4):
+                 write_buffer_depth: int = 4, probe=NULL_PROBE,
+                 cluster_id: int = 0):
         if num_banks < 1:
             raise ValueError("need at least one bank")
         if bank_cycle_time < 1:
@@ -45,6 +48,8 @@ class BankInterconnect:
         self._write_buffers: List[List[int]] = [[] for _ in range(num_banks)]
         self.conflict_cycles = 0
         self.write_stall_cycles = 0
+        self.probe = probe
+        self.cluster_id = cluster_id
 
     def access(self, bank: int, now: int) -> Tuple[int, int]:
         """Claim ``bank`` for one access at the earliest time >= ``now``.
@@ -57,6 +62,9 @@ class BankInterconnect:
         self._bank_free[bank] = start + self.bank_cycle_time
         wait = start - now
         self.conflict_cycles += wait
+        probe = self.probe
+        if probe is not NULL_PROBE:
+            probe.bank_access(self.cluster_id, bank, now, start, wait)
         return start, wait
 
     def reserve_write_slot(self, bank: int, now: int, retire_time: int) -> int:
@@ -78,6 +86,10 @@ class BankInterconnect:
             stall = max(0, oldest - now)
             self.write_stall_cycles += stall
         heapq.heappush(buffer, max(retire_time, now + stall))
+        probe = self.probe
+        if probe is not NULL_PROBE:
+            probe.write_buffer(self.cluster_id, bank, now, len(buffer),
+                               stall)
         return stall
 
     def bank_free_time(self, bank: int) -> int:

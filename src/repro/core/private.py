@@ -27,7 +27,7 @@ processors_per_cluster``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from .bus import SnoopyBus
 from .cache import INVALID, MODIFIED, SHARED, make_array
@@ -35,6 +35,7 @@ from .config import SystemConfig
 from .icache import InstructionCache
 from .processor import ProcessorState
 from .stats import SccStats, SystemStats
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["PrivateCache", "PrivateClusterSystem"]
 
@@ -62,19 +63,23 @@ class PrivateCache:
 class PrivateClusterSystem:
     """Clusters of private caches with two-level snooping coherence."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, instrumentation=None):
         if config.cluster_organization != "private":
             raise ValueError(
                 "config is not a private-cache organization")
         self.config = config
+        probe = instrumentation if instrumentation is not None \
+            else NULL_PROBE
+        self.probe = probe
         lines = config.private_cache_size // config.line_size
         self.caches: List[PrivateCache] = [
             PrivateCache(lines, config.associativity)
             for _ in range(config.total_processors)]
         self.intra_buses: List[SnoopyBus] = [
-            SnoopyBus() for _ in range(config.clusters)]
-        self.global_bus = SnoopyBus()
-        self._procs = [ProcessorState(p, config.cluster_of(p))
+            SnoopyBus(probe=probe, name=f"intra-cluster {c}")
+            for c in range(config.clusters)]
+        self.global_bus = SnoopyBus(probe=probe, name="inter-cluster")
+        self._procs = [ProcessorState(p, config.cluster_of(p), probe=probe)
                        for p in range(config.total_processors)]
         self.icaches: List[InstructionCache] = [
             InstructionCache(config)
@@ -120,6 +125,9 @@ class PrivateClusterSystem:
         cache.stats.reads += 1
         if cache.array.state(line) != INVALID:
             cache.array.touch(line)
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(self.config.cluster_of(proc), line,
+                                        False, True, now, now + 1)
             return now + 1
         cache.stats.read_misses += 1
         if cache.consume_lost(line):
@@ -148,6 +156,9 @@ class PrivateClusterSystem:
                     cache.stats.interventions += 1
             done = tx.done
         self._install(proc, line, SHARED, now)
+        if self.probe is not NULL_PROBE:
+            self.probe.cache_access(cluster, line, False, False, now,
+                                    done + 1)
         return done + 1
 
     def _write(self, proc: int, line: int, now: int) -> int:
@@ -158,6 +169,9 @@ class PrivateClusterSystem:
         state = cache.array.state(line)
         if state == MODIFIED:
             cache.array.touch(line)
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(cluster, line, True, True, now,
+                                        now + 1)
             return now + 1
         if state == SHARED:
             # Upgrade: invalidate siblings over the intra-cluster bus
@@ -168,12 +182,16 @@ class PrivateClusterSystem:
             self.intra_buses[cluster].acquire(
                 now, config.intra_bus_occupancy,
                 config.intra_bus_occupancy)
-            self._invalidate_siblings(proc, line)
+            killed = self._invalidate_siblings(proc, line)
             if self._remote_holders(proc, line):
                 self.global_bus.acquire(now, config.upgrade_bus_occupancy,
                                         config.upgrade_bus_occupancy)
-                self._invalidate_remote(proc, line)
+                killed += self._invalidate_remote(proc, line)
             cache.array.set_state(line, MODIFIED)
+            if self.probe is not NULL_PROBE:
+                self.probe.cache_access(cluster, line, True, True, now,
+                                        now + 1)
+                self.probe.invalidation(cluster, line, killed, now)
             return now + 1
         # Write miss: fetch exclusive from the nearest holder.
         cache.stats.write_misses += 1
@@ -181,7 +199,7 @@ class PrivateClusterSystem:
         intra = self.intra_buses[cluster].acquire(
             now, config.intra_bus_occupancy, config.intra_transfer_latency)
         had_sibling = bool(self._sibling_holders(proc, line))
-        self._invalidate_siblings(proc, line)
+        killed = self._invalidate_siblings(proc, line)
         if had_sibling and not self._remote_holders(proc, line):
             pass  # whole transaction stayed inside the cluster
         else:
@@ -189,24 +207,34 @@ class PrivateClusterSystem:
                                          config.bus_occupancy,
                                          config.memory_latency)
             cache.stats.bus_wait_cycles += tx.wait
-            self._invalidate_remote(proc, line)
+            killed += self._invalidate_remote(proc, line)
         self._install(proc, line, MODIFIED, now)
+        if self.probe is not NULL_PROBE:
+            self.probe.cache_access(cluster, line, True, False, now,
+                                    now + 1)
+            self.probe.invalidation(cluster, line, killed, now)
         return now + 1
 
-    def _invalidate_siblings(self, proc: int, line: int) -> None:
+    def _invalidate_siblings(self, proc: int, line: int) -> int:
+        killed = 0
         for mate in self._sibling_holders(proc, line):
             self.caches[mate].array.invalidate(line)
             self.caches[mate].note_lost(line)
             self.caches[mate].stats.invalidations_received += 1
             self.caches[proc].stats.invalidations_sent += 1
             self.intra_invalidations += 1
+            killed += 1
+        return killed
 
-    def _invalidate_remote(self, proc: int, line: int) -> None:
+    def _invalidate_remote(self, proc: int, line: int) -> int:
+        killed = 0
         for other in self._remote_holders(proc, line):
             self.caches[other].array.invalidate(line)
             self.caches[other].note_lost(line)
             self.caches[other].stats.invalidations_received += 1
             self.caches[proc].stats.invalidations_sent += 1
+            killed += 1
+        return killed
 
     def _install(self, proc: int, line: int, state: int,
                  now: int) -> None:
@@ -234,14 +262,16 @@ class PrivateClusterSystem:
                     now + stall, self.config.bus_occupancy,
                     self.config.icache_miss_latency)
                 stall = tx.done - now
-        self._procs[proc].account_ifetch(count, stall)
+        self._procs[proc].account_ifetch(count, stall, now=now)
         return now + count + stall
 
-    def account_compute(self, proc: int, cycles: int) -> None:
-        self._procs[proc].account_compute(cycles)
+    def account_compute(self, proc: int, cycles: int,
+                        now: Optional[int] = None) -> None:
+        self._procs[proc].account_compute(cycles, now=now)
 
-    def account_sync(self, proc: int, cycles: int) -> None:
-        self._procs[proc].account_sync_stall(cycles)
+    def account_sync(self, proc: int, cycles: int,
+                     start: Optional[int] = None) -> None:
+        self._procs[proc].account_sync_stall(cycles, start=start)
 
     # ------------------------------------------------------------------
     # Results

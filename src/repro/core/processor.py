@@ -14,7 +14,10 @@ memory-stall / sync-stall breakdown reported in
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .stats import ProcessorStats
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["ProcessorState"]
 
@@ -22,20 +25,28 @@ __all__ = ["ProcessorState"]
 class ProcessorState:
     """Cycle bookkeeping for one processor."""
 
-    __slots__ = ("proc_id", "cluster_id", "stats", "finish_time")
+    __slots__ = ("proc_id", "cluster_id", "stats", "finish_time", "probe")
 
-    def __init__(self, proc_id: int, cluster_id: int):
+    def __init__(self, proc_id: int, cluster_id: int, probe=NULL_PROBE):
         self.proc_id = proc_id
         self.cluster_id = cluster_id
         self.stats = ProcessorStats()
         self.finish_time = 0
+        self.probe = probe
 
-    def account_compute(self, cycles: int) -> None:
-        """``cycles`` of straight-line execution (one instruction each)."""
+    def account_compute(self, cycles: int,
+                        now: Optional[int] = None) -> None:
+        """``cycles`` of straight-line execution (one instruction each).
+
+        ``now`` (when the caller knows it) timestamps the span for the
+        instrumentation timeline; accounting itself is time-free.
+        """
         if cycles < 0:
             raise ValueError("compute cycles must be non-negative")
         self.stats.busy_cycles += cycles
         self.stats.instructions += cycles
+        if self.probe is not NULL_PROBE and now is not None:
+            self.probe.proc_busy(self.proc_id, now, cycles)
 
     def account_reference(self, issued: int, complete: int) -> None:
         """A data reference issued at ``issued`` finishing at ``complete``.
@@ -52,15 +63,35 @@ class ProcessorState:
         self.stats.busy_cycles += 1
         self.stats.memory_stall_cycles += total - 1
         self.finish_time = complete
+        probe = self.probe
+        if probe is not NULL_PROBE:
+            probe.proc_busy(self.proc_id, issued, 1)
+            if total > 1:
+                probe.proc_stall(self.proc_id, "memory", issued + 1,
+                                 complete)
 
-    def account_ifetch(self, count: int, stall: int) -> None:
+    def account_ifetch(self, count: int, stall: int,
+                       now: Optional[int] = None) -> None:
         """``count`` instructions fetched with ``stall`` refill cycles."""
         self.stats.instructions += count
         self.stats.busy_cycles += count
         self.stats.icache_stall_cycles += stall
+        if self.probe is not NULL_PROBE and now is not None:
+            self.probe.proc_busy(self.proc_id, now, count)
+            if stall:
+                self.probe.proc_stall(self.proc_id, "icache", now + count,
+                                      now + count + stall)
 
-    def account_sync_stall(self, cycles: int) -> None:
-        """Cycles blocked on a lock, barrier, or empty task queue."""
+    def account_sync_stall(self, cycles: int,
+                           start: Optional[int] = None) -> None:
+        """Cycles blocked on a lock, barrier, or empty task queue.
+
+        ``start`` (when known) timestamps the stall span for the
+        instrumentation timeline.
+        """
         if cycles < 0:
             raise ValueError("sync stall must be non-negative")
         self.stats.sync_stall_cycles += cycles
+        if self.probe is not NULL_PROBE and start is not None:
+            self.probe.proc_stall(self.proc_id, "sync", start,
+                                  start + cycles)

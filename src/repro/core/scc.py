@@ -20,6 +20,7 @@ from .cache import make_array
 from .config import SystemConfig
 from .interconnect import BankInterconnect
 from .stats import SccStats
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["SharedClusterCache"]
 
@@ -28,16 +29,19 @@ class SharedClusterCache:
     """Tag array + banks + write buffers for one cluster's shared cache."""
 
     __slots__ = ("config", "cluster_id", "array", "interconnect", "stats",
-                 "_inflight", "_lost_lines")
+                 "probe", "_inflight", "_lost_lines")
 
-    def __init__(self, config: SystemConfig, cluster_id: int):
+    def __init__(self, config: SystemConfig, cluster_id: int,
+                 probe=NULL_PROBE):
         self.config = config
         self.cluster_id = cluster_id
+        self.probe = probe
         self.array = make_array(config.scc_lines, config.associativity)
         self.interconnect = BankInterconnect(
             num_banks=config.num_banks,
             bank_cycle_time=config.bank_cycle_time,
-            write_buffer_depth=config.write_buffer_depth)
+            write_buffer_depth=config.write_buffer_depth,
+            probe=probe, cluster_id=cluster_id)
         self.stats = SccStats()
         # line -> cycle its fill completes; a second access to an in-flight
         # line merges with the outstanding fill (MSHR behaviour) instead of

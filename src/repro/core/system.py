@@ -14,7 +14,7 @@ the resulting schedules stay causally consistent.)
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .bus import SnoopyBus
 from .cluster import Cluster
@@ -22,26 +22,39 @@ from .coherence import AccessOutcome, CoherenceController
 from .config import SystemConfig
 from .directory import DirectoryController
 from .stats import SystemStats
+from ..instrument.probes import NULL_PROBE
 
 __all__ = ["MultiprocessorSystem"]
 
 
 class MultiprocessorSystem:
-    """Clustered shared-cache multiprocessor memory system."""
+    """Clustered shared-cache multiprocessor memory system.
 
-    def __init__(self, config: SystemConfig):
+    ``instrumentation`` (an
+    :class:`~repro.instrument.probes.InstrumentationProbe`, or anything
+    duck-typed like one) is threaded into every component that models a
+    contended resource; by default they all carry the no-op
+    :data:`~repro.instrument.probes.NULL_PROBE` and pay one identity
+    test per event.
+    """
+
+    def __init__(self, config: SystemConfig, instrumentation=None):
         self.config = config
+        probe = instrumentation if instrumentation is not None \
+            else NULL_PROBE
+        self.probe = probe
         self.clusters: List[Cluster] = [
-            Cluster(config, c) for c in range(config.clusters)
+            Cluster(config, c, probe=probe) for c in range(config.clusters)
         ]
-        self.bus = SnoopyBus()
+        self.bus = SnoopyBus(probe=probe, name="inter-cluster")
         sccs = [cluster.scc for cluster in self.clusters]
         if config.inter_cluster == "directory":
             # Point-to-point transport for data; the bus object remains
             # only for instruction-cache refills.
             self.coherence = DirectoryController(config, sccs)
         else:
-            self.coherence = CoherenceController(config, sccs, self.bus)
+            self.coherence = CoherenceController(config, sccs, self.bus,
+                                                 probe=probe)
         self._procs = [
             proc for cluster in self.clusters for proc in cluster.processors
         ]
@@ -95,20 +108,24 @@ class MultiprocessorSystem:
                 tx = self.bus.acquire(now + stall, self.config.bus_occupancy,
                                       self.config.icache_miss_latency)
                 stall = tx.done - now
-        self._procs[proc].account_ifetch(count, stall)
+        self._procs[proc].account_ifetch(count, stall, now=now)
         return now + count + stall
 
     # ------------------------------------------------------------------
     # Non-memory accounting (called by the interleaver)
     # ------------------------------------------------------------------
 
-    def account_compute(self, proc: int, cycles: int) -> None:
-        """Record straight-line execution for ``proc``."""
-        self._procs[proc].account_compute(cycles)
+    def account_compute(self, proc: int, cycles: int,
+                        now: Optional[int] = None) -> None:
+        """Record straight-line execution for ``proc`` (``now``, when
+        the caller knows it, timestamps the instrumentation span)."""
+        self._procs[proc].account_compute(cycles, now=now)
 
-    def account_sync(self, proc: int, cycles: int) -> None:
-        """Record synchronization stall for ``proc``."""
-        self._procs[proc].account_sync_stall(cycles)
+    def account_sync(self, proc: int, cycles: int,
+                     start: Optional[int] = None) -> None:
+        """Record synchronization stall for ``proc`` beginning at
+        ``start`` (``None`` when the caller has no timestamp)."""
+        self._procs[proc].account_sync_stall(cycles, start=start)
 
     # ------------------------------------------------------------------
     # Results

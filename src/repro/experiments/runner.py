@@ -22,11 +22,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import KB, SystemConfig
+from ..instrument import InstrumentationProbe
 from ..simulation import run_simulation
 from ..workloads.barnes_hut import BarnesHut
 from ..workloads.cholesky import Cholesky
@@ -38,8 +40,13 @@ __all__ = ["RunStats", "ExperimentProfile", "PROFILES", "active_profile",
            "multiprogramming_sweep", "PAPER_LADDER", "PROCS_SWEPT",
            "CACHE_VERSION"]
 
-CACHE_VERSION = 3
-"""Bump to invalidate cached results after simulator changes."""
+CACHE_VERSION = 4
+"""Bump to invalidate cached results after simulator changes.
+(v4: cached payloads gained the ``instrument`` observability summary.)"""
+
+INSTRUMENT_BIN_WIDTH = 4096
+"""Timeline resolution for the summary-only instrumentation every sweep
+point runs with (coarse: sweeps want digests, not traces)."""
 
 PAPER_LADDER: Tuple[int, ...] = tuple(
     kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
@@ -59,6 +66,12 @@ class RunStats:
     reads: int
     writes: int
     events: int
+    instrument: Optional[Dict[str, float]] = field(default=None,
+                                                   compare=False)
+    """Flat observability digest from the run's
+    :class:`~repro.instrument.InstrumentationProbe` (peak/mean bus
+    utilization, conflict cycles, write-buffer high-water); ``None``
+    only for payloads predating cache v4."""
 
     def as_dict(self) -> Dict[str, float]:
         return asdict(self)
@@ -191,6 +204,32 @@ def _stats_key(benchmark: str, profile: ExperimentProfile,
             f"|model_icache={config.model_icache}")
 
 
+def _compute_point(benchmark: str, profile: ExperimentProfile,
+                   config: SystemConfig) -> RunStats:
+    """Actually simulate one configuration (no cache involved).
+
+    Module-level (not nested) so ``ProcessPoolExecutor`` can pickle it
+    for ``--jobs`` parallel sweeps.  Every point runs with summary-only
+    instrumentation: the observability digest rides along in the cached
+    payload at negligible cost relative to the simulation itself.
+    """
+    probe = InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
+                                 record_events=False)
+    result = run_simulation(config, profile.workload(benchmark),
+                            instrumentation=probe)
+    total = result.stats.total_scc
+    return RunStats(
+        execution_time=result.stats.execution_time,
+        read_miss_rate=result.stats.read_miss_rate,
+        miss_rate=total.miss_rate,
+        invalidations=result.stats.total_invalidations,
+        reads=total.reads,
+        writes=total.writes,
+        events=result.events_processed,
+        instrument=probe.summary(),
+    )
+
+
 def run_point(benchmark: str, profile: ExperimentProfile,
               config: SystemConfig,
               cache: Optional[ResultCache] = None) -> RunStats:
@@ -200,17 +239,7 @@ def run_point(benchmark: str, profile: ExperimentProfile,
         cached = cache.get(key)
         if cached is not None:
             return cached
-    result = run_simulation(config, profile.workload(benchmark))
-    total = result.stats.total_scc
-    stats = RunStats(
-        execution_time=result.stats.execution_time,
-        read_miss_rate=result.stats.read_miss_rate,
-        miss_rate=total.miss_rate,
-        invalidations=result.stats.total_invalidations,
-        reads=total.reads,
-        writes=total.writes,
-        events=result.events_processed,
-    )
+    stats = _compute_point(benchmark, profile, config)
     if cache is not None:
         cache.put(key, stats)
     return stats
@@ -219,46 +248,92 @@ def run_point(benchmark: str, profile: ExperimentProfile,
 Sweep = Dict[Tuple[int, int], RunStats]
 """(processors per cluster, paper SCC bytes) -> stats."""
 
+GridPoint = Tuple[int, int]
+
+
+def _run_grid(benchmark: str, profile: ExperimentProfile,
+              configs: Dict[GridPoint, SystemConfig],
+              cache: Optional[ResultCache],
+              jobs: Optional[int]) -> Sweep:
+    """Resolve a grid of configurations through the cache, simulating
+    the missing points serially or on ``jobs`` worker processes.
+
+    The cache key is per point and identical either way, so serial and
+    parallel runs share entries; workers never touch the cache (the
+    parent writes results back), which keeps the scheme safe on any
+    filesystem.
+    """
+    sweep: Sweep = {}
+    missing: List[GridPoint] = []
+    for point, config in configs.items():
+        cached = (cache.get(_stats_key(benchmark, profile, config))
+                  if cache is not None else None)
+        if cached is not None:
+            sweep[point] = cached
+        else:
+            missing.append(point)
+    if not missing:
+        return sweep
+    if jobs is not None and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = pool.map(
+                _compute_point,
+                [benchmark] * len(missing),
+                [profile] * len(missing),
+                [configs[point] for point in missing])
+            computed = dict(zip(missing, results))
+    else:
+        computed = {point: _compute_point(benchmark, profile,
+                                          configs[point])
+                    for point in missing}
+    for point, stats in computed.items():
+        if cache is not None:
+            cache.put(_stats_key(benchmark, profile, configs[point]),
+                      stats)
+        sweep[point] = stats
+    return sweep
+
 
 def parallel_sweep(benchmark: str,
                    profile: Optional[ExperimentProfile] = None,
                    cache: Optional[ResultCache] = None,
                    ladder: Optional[Tuple[int, ...]] = None,
-                   procs: Tuple[int, ...] = PROCS_SWEPT) -> Sweep:
+                   procs: Tuple[int, ...] = PROCS_SWEPT,
+                   jobs: Optional[int] = None) -> Sweep:
     """The Section 3.1 grid for one parallel benchmark.
 
     Keys use *paper* SCC bytes; the simulated size is the paper size
-    divided by the profile's ladder scale.
+    divided by the profile's ladder scale.  ``jobs`` > 1 simulates
+    uncached points concurrently on that many worker processes.
     """
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
     ladder = ladder or PAPER_LADDER
-    sweep: Sweep = {}
-    for paper_bytes in ladder:
-        for procs_per_cluster in procs:
-            config = SystemConfig.paper_parallel(
-                procs_per_cluster, paper_bytes // profile.ladder_scale)
-            sweep[(procs_per_cluster, paper_bytes)] = run_point(
-                benchmark, profile, config, cache)
-    return sweep
+    configs = {
+        (procs_per_cluster, paper_bytes): SystemConfig.paper_parallel(
+            procs_per_cluster, paper_bytes // profile.ladder_scale)
+        for paper_bytes in ladder
+        for procs_per_cluster in procs
+    }
+    return _run_grid(benchmark, profile, configs, cache, jobs)
 
 
 def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
                            cache: Optional[ResultCache] = None,
                            ladder: Optional[Tuple[int, ...]] = None,
-                           procs: Tuple[int, ...] = PROCS_SWEPT) -> Sweep:
+                           procs: Tuple[int, ...] = PROCS_SWEPT,
+                           jobs: Optional[int] = None) -> Sweep:
     """The Section 3.2 grid (single cluster, icache modelled & scaled)."""
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
     ladder = ladder or PAPER_LADDER
     icache = max(16 * KB // profile.ladder_scale, 512)
-    sweep: Sweep = {}
-    for paper_bytes in ladder:
-        for procs_per_cluster in procs:
-            config = SystemConfig.paper_multiprogramming(
-                procs_per_cluster,
-                paper_bytes // profile.ladder_scale).with_updates(
-                    icache_size=icache)
-            sweep[(procs_per_cluster, paper_bytes)] = run_point(
-                "multiprogramming", profile, config, cache)
-    return sweep
+    configs = {
+        (procs_per_cluster, paper_bytes): SystemConfig.paper_multiprogramming(
+            procs_per_cluster,
+            paper_bytes // profile.ladder_scale).with_updates(
+                icache_size=icache)
+        for paper_bytes in ladder
+        for procs_per_cluster in procs
+    }
+    return _run_grid("multiprogramming", profile, configs, cache, jobs)

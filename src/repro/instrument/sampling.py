@@ -1,0 +1,70 @@
+"""Bounded, deterministic retention of raw instrumentation events.
+
+A profiled MP3D run emits hundreds of thousands of probe events; keeping
+them all would swamp memory and produce Perfetto traces too large to
+load.  :class:`EventLog` caps retention with *adaptive decimation*:
+while under the cap every event is kept, and each time the log fills it
+drops every second retained event and doubles its sampling stride, so
+the survivors stay uniformly spread over the whole run.  The scheme is
+deterministic (no RNG), which keeps traces reproducible across runs and
+lets tests assert on exact contents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["EventLog"]
+
+Event = Tuple  # (kind, ts, *payload) -- kind str first, timestamp second.
+
+
+class EventLog:
+    """Append-only event store with a hard size cap.
+
+    ``append`` is the hot-path entry point: one counter increment plus,
+    for retained events, one list append.  ``stride`` starts at 1 (keep
+    everything) and doubles whenever the log reaches ``capacity``.
+    """
+
+    __slots__ = ("capacity", "stride", "_counter", "_events", "offered")
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.capacity = capacity
+        self.stride = 1
+        self._counter = 0
+        self._events: List[Event] = []
+        self.offered = 0
+        """Total events offered, retained or not (for drop reporting)."""
+
+    def append(self, event: Event) -> None:
+        """Offer one event; retained if it lands on the current stride."""
+        self.offered += 1
+        count = self._counter
+        self._counter = count + 1
+        if count % self.stride:
+            return
+        events = self._events
+        events.append(event)
+        if len(events) >= self.capacity:
+            # Halve the population and double the stride: survivors
+            # remain an even sample of everything offered so far.
+            del events[1::2]
+            self.stride *= 2
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events offered but not retained."""
+        return self.offered - len(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All retained events whose first field equals ``kind``."""
+        return [event for event in self._events if event[0] == kind]

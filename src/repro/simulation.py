@@ -28,11 +28,17 @@ from .trace.interleave import TimingInterleaver
 __all__ = ["SimulationResult", "build_system", "run_simulation"]
 
 
-def build_system(config: SystemConfig):
-    """The memory system for a configuration's cluster organization."""
+def build_system(config: SystemConfig, instrumentation=None):
+    """The memory system for a configuration's cluster organization.
+
+    ``instrumentation`` (an
+    :class:`~repro.instrument.InstrumentationProbe` or ``None``) is
+    threaded into every contended component so probed runs see bank,
+    bus, and processor events as they happen.
+    """
     if config.cluster_organization == "private":
-        return PrivateClusterSystem(config)
-    return MultiprocessorSystem(config)
+        return PrivateClusterSystem(config, instrumentation=instrumentation)
+    return MultiprocessorSystem(config, instrumentation=instrumentation)
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,11 @@ class SimulationResult:
     stats: SystemStats
     events_processed: int
     """Trace events consumed by the interleaver."""
+
+    instrumentation: Optional[object] = None
+    """The :class:`~repro.instrument.InstrumentationProbe` the run was
+    started with (``None`` for uninstrumented runs); its ``registry``
+    holds the binned timelines and its ``summary()`` the flat digest."""
 
     @property
     def execution_time(self) -> int:
@@ -72,7 +83,8 @@ class SimulationResult:
 
 def run_simulation(config: SystemConfig, application,
                    max_cycles: Optional[int] = None,
-                   check_invariants: bool = True) -> SimulationResult:
+                   check_invariants: bool = True,
+                   instrumentation=None) -> SimulationResult:
     """Simulate ``application`` on the machine described by ``config``.
 
     ``application.processes(config)`` must return a mapping from
@@ -80,8 +92,15 @@ def run_simulation(config: SystemConfig, application,
     valid for the configuration.  ``max_cycles`` aborts runaway simulations
     (simulated time bound).  ``check_invariants`` verifies coherence
     exclusivity after the run (cheap relative to the run itself).
+
+    ``instrumentation`` enables cycle-level observability: pass an
+    :class:`~repro.instrument.InstrumentationProbe` and every bus grant,
+    bank conflict, write-buffer event, and processor stall lands in its
+    timelines; the same object is finalized with the run's horizon and
+    returned on the result.  The default ``None`` costs the hot paths
+    one pointer comparison per event.
     """
-    system = build_system(config)
+    system = build_system(config, instrumentation=instrumentation)
     interleaver = TimingInterleaver(system)
     process_map = application.processes(config)
     for proc_id, generator in process_map.items():
@@ -89,6 +108,9 @@ def run_simulation(config: SystemConfig, application,
     execution_time = interleaver.run(max_cycles=max_cycles)
     if check_invariants:
         system.check_invariants()
+    if instrumentation is not None:
+        instrumentation.finalize(execution_time)
     return SimulationResult(config=config,
                             stats=system.stats(execution_time),
-                            events_processed=interleaver.events_processed)
+                            events_processed=interleaver.events_processed,
+                            instrumentation=instrumentation)

@@ -197,7 +197,8 @@ class TimingInterleaver:
                                               process.time)
         elif type(event) is Compute:
             if event.cycles:
-                system.account_compute(pid, event.cycles)
+                system.account_compute(pid, event.cycles,
+                                       now=process.time)
                 process.time += event.cycles
         elif type(event) is Ifetch:
             process.time = system.ifetch(pid, event.addr, event.count,
@@ -233,7 +234,8 @@ class TimingInterleaver:
             lock.holder = process.pid
             if self.observer is not None:
                 self.observer.on_acquire(process.pid, lock_id)
-            self.system.account_compute(process.pid, self.lock_overhead)
+            self.system.account_compute(process.pid, self.lock_overhead,
+                                        now=process.time)
             process.time += self.lock_overhead
         else:
             process.blocked = True
@@ -248,7 +250,8 @@ class TimingInterleaver:
                 f"it does not hold")
         if self.observer is not None:
             self.observer.on_release(process.pid, lock_id)
-        self.system.account_compute(process.pid, self.lock_overhead)
+        self.system.account_compute(process.pid, self.lock_overhead,
+                                    now=process.time)
         process.time += self.lock_overhead
         if lock.waiters:
             next_pid = lock.waiters.popleft()
@@ -293,7 +296,8 @@ class TimingInterleaver:
     def _wake(self, pid: int, resume_time: int) -> None:
         process = self._processes[pid]
         resume_time = max(resume_time, process.time)
-        self.system.account_sync(pid, resume_time - process.block_start)
+        self.system.account_sync(pid, resume_time - process.block_start,
+                                 start=process.block_start)
         process.time = resume_time
         process.blocked = False
         self._push(process)

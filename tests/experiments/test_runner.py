@@ -89,3 +89,46 @@ class TestRunPoint:
                                ladder=(4 * KB, 64 * KB), procs=(1, 2))
         assert set(sweep) == {(1, 4 * KB), (2, 4 * KB),
                               (1, 64 * KB), (2, 64 * KB)}
+
+    def test_run_point_carries_instrument_digest(self, tmp_path,
+                                                 tiny_profile):
+        cache = ResultCache(tmp_path)
+        config = SystemConfig.paper_parallel(1, 1 * KB)
+        stats = run_point("mp3d", tiny_profile, config, cache)
+        assert stats.instrument is not None
+        assert stats.instrument["bus_transactions"] > 0
+        assert "bus_peak_utilization" in stats.instrument
+        # The digest survives the JSON cache round trip.
+        cached = run_point("mp3d", tiny_profile, config, cache)
+        assert cached.instrument == stats.instrument
+
+    def test_instrument_digest_excluded_from_equality(self):
+        """Pre-v4 cache payloads deserialize to instrument=None and must
+        still compare equal on the physics."""
+        a = RunStats(1, 0.0, 0.0, 0, 0, 0, 0, instrument=None)
+        b = RunStats(1, 0.0, 0.0, 0, 0, 0, 0, instrument={"x": 1.0})
+        assert a == b
+
+
+class TestParallelJobs:
+    def test_parallel_matches_serial_and_shares_cache(self, tmp_path,
+                                                      tiny_profile):
+        """jobs=2 computes the same stats as a serial sweep and writes
+        cache entries a later serial sweep is fully served from."""
+        cache = ResultCache(tmp_path)
+        grid = dict(ladder=(2 * KB, 4 * KB), procs=(1, 2))
+        parallel = parallel_sweep("mp3d", tiny_profile, cache, jobs=2,
+                                  **grid)
+        entries = len(list(tmp_path.glob("*.json")))
+        assert entries == 4
+        serial = parallel_sweep("mp3d", tiny_profile, cache, jobs=None,
+                                **grid)
+        assert serial == parallel
+        # Fully cache-served: no new entries were written.
+        assert len(list(tmp_path.glob("*.json"))) == entries
+
+    def test_jobs_one_is_serial(self, tmp_path, tiny_profile):
+        cache = ResultCache(tmp_path)
+        sweep = parallel_sweep("mp3d", tiny_profile, cache, jobs=1,
+                               ladder=(2 * KB,), procs=(1,))
+        assert sweep[(1, 2 * KB)].execution_time > 0

@@ -1,0 +1,62 @@
+"""Unit tests for the bounded, deterministically-decimated event log."""
+
+import pytest
+
+from repro.instrument.sampling import EventLog
+
+
+class TestEventLog:
+    def test_keeps_everything_under_capacity(self):
+        log = EventLog(capacity=100)
+        for i in range(50):
+            log.append(("bus", i))
+        assert len(log) == 50
+        assert log.dropped == 0
+        assert list(log) == [("bus", i) for i in range(50)]
+
+    def test_decimates_at_capacity(self):
+        log = EventLog(capacity=100)
+        for i in range(100):
+            log.append(("bus", i))
+        # Filling triggers one halving: every second retained event went.
+        assert len(log) == 50
+        assert log.stride == 2
+        assert log.offered == 100
+        assert log.dropped == 50
+
+    def test_survivors_stay_uniformly_spread(self):
+        log = EventLog(capacity=100)
+        for i in range(1000):
+            log.append(("bus", i))
+        timestamps = [event[1] for event in log]
+        assert timestamps == sorted(timestamps)
+        # After decimation the kept events are every stride-th offered one.
+        assert all(t % log.stride == 0 for t in timestamps)
+        assert timestamps[0] == 0
+        assert timestamps[-1] >= 1000 - log.stride
+
+    def test_determinism(self):
+        a, b = EventLog(capacity=64), EventLog(capacity=64)
+        for i in range(5000):
+            a.append(("x", i))
+            b.append(("x", i))
+        assert list(a) == list(b)
+        assert a.stride == b.stride
+
+    def test_never_exceeds_capacity(self):
+        log = EventLog(capacity=32)
+        for i in range(10_000):
+            log.append(("x", i))
+            assert len(log) <= 32
+
+    def test_of_kind(self):
+        log = EventLog(capacity=100)
+        log.append(("bus", 1))
+        log.append(("bank", 2))
+        log.append(("bus", 3))
+        assert log.of_kind("bus") == [("bus", 1), ("bus", 3)]
+        assert log.of_kind("wb") == []
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=1)

@@ -16,10 +16,27 @@ class TestParseSize:
     def test_bytes(self):
         assert parse_size("512B") == 512
         assert parse_size("4096") == 4096
+        assert parse_size("512b") == 512
+
+    def test_mb(self):
+        assert parse_size("1MB") == 1024 * 1024
+        assert parse_size("2mb") == 2 * 1024 * 1024
+        assert parse_size("1Mb") == 1024 * 1024
+
+    def test_mixed_case_kb(self):
+        assert parse_size("8Kb") == 8192
+        assert parse_size("8kB") == 8192
 
     def test_rejects_garbage(self):
         with pytest.raises(argparse.ArgumentTypeError):
             parse_size("lots")
+
+    def test_error_message_lists_accepted_forms(self):
+        with pytest.raises(argparse.ArgumentTypeError) as err:
+            parse_size("8GB")
+        message = str(err.value)
+        for form in ("4096", "512B", "8KB", "1MB"):
+            assert form in message
 
 
 class TestCommands:
@@ -51,6 +68,25 @@ class TestCommands:
         assert main(["report", "costs"]) == 0
         assert "204" in capsys.readouterr().out
 
+    def test_profile(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(["profile", "mp3d", "--procs", "2", "--scc", "2KB",
+                     "--trace-out", str(trace), "--timeline-bins", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bus utilization" in out
+        assert "trace written" in out
+        import json
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_profile_without_trace_out(self, capsys):
+        assert main(["profile", "mp3d", "--procs", "1",
+                     "--scc", "2KB"]) == 0
+        out = capsys.readouterr().out
+        assert "bus utilization" in out
+        assert "trace written" not in out
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "linpack"])
@@ -81,6 +117,11 @@ class TestSweepAndReportPaths:
         out = capsys.readouterr().out
         assert "normalized execution time" in out
         assert "speedups" in out
+
+    def test_sweep_jobs_flag(self, capsys, tiny_profile):
+        assert main(["sweep", "mp3d", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized execution time" in out
 
     def test_report_table3(self, capsys, tiny_profile):
         assert main(["report", "table3"]) == 0
