@@ -12,7 +12,10 @@ Python:
   (optionally on several worker processes) and print its speedup table
   and figure series;
 * ``report`` -- regenerate a specific table or figure of the paper
-  (cost-model ones instantly, simulation ones via the cached sweeps).
+  (cost-model ones instantly, simulation ones via the cached sweeps);
+* ``bench`` -- time the simulator itself (packed fast path vs the
+  event-object path, trace-cached sweep vs instrumented resimulation)
+  and optionally write the numbers to a JSON file.
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro profile mp3d --procs 8 --scc 4KB --trace-out mp3d.json
     python -m repro sweep cholesky --profile quick --jobs 4
     python -m repro report table6
+    python -m repro bench --repeat 3 --out BENCH.json
     python -m repro list
 """
 
@@ -127,6 +131,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=SIMULATION_REPORTS + MODEL_REPORTS)
     report.add_argument("--profile", default=None,
                         choices=("quick", "paper"))
+
+    bench = commands.add_parser(
+        "bench", help="time the simulator (packed vs event-object paths)")
+    bench.add_argument("--repeat", type=int, default=3, metavar="N",
+                       help="take the best of N timed runs (default 3)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the measurements as JSON")
+    bench.add_argument("--scenario", default="all",
+                       choices=("all", "point", "sweep"),
+                       help="point: one quick Barnes-Hut configuration; "
+                            "sweep: a Figure-5-style grid (default both)")
 
     commands.add_parser("list", help="list benchmarks and experiments")
     return parser
@@ -297,6 +312,148 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _bench_point(repeat: int) -> dict:
+    """Quick Barnes-Hut on the paper's 8x8 machine: packed fast path vs
+    the event-object generator path (identical statistics, same events)."""
+    import time
+    from .workloads.barnes_hut import BarnesHut
+    config = SystemConfig.paper_parallel(8, 8 * KB)
+    timings = {True: [], False: []}
+    events = None
+    for _ in range(max(1, repeat)):
+        for packed in (True, False):
+            workload = BarnesHut(n_bodies=192, steps=2)
+            workload.packed = packed
+            begin = time.perf_counter()
+            result = run_simulation(config, workload)
+            timings[packed].append(time.perf_counter() - begin)
+            if events is None:
+                events = result.events_processed
+    packed_s = min(timings[True])
+    generator_s = min(timings[False])
+    return {
+        "workload": "BarnesHut(n_bodies=192, steps=2)",
+        "config": "paper_parallel(procs_per_cluster=8, scc=8KB)",
+        "events": events,
+        "packed_s": round(packed_s, 4),
+        "generator_s": round(generator_s, 4),
+        "speedup": round(generator_s / packed_s, 2),
+        "packed_events_per_s": int(events / packed_s),
+        "repeats": repeat,
+    }
+
+
+def _bench_sweep(repeat: int) -> dict:
+    """A miss-rate-vs-cache-size curve (Figure 2/5 style) two ways.
+
+    The curve is the multiprogramming workload on one processor across
+    the full SCC ladder.  Baseline is how sweeps ran before the packed
+    encoding existed: every rung resimulated on the event-object path
+    with the observability digest attached.  The fast mode is the
+    current sweep pipeline with ``instrument=False``: the stream is
+    recorded once (single-processor streams are configuration-
+    independent, so the determinism guard holds) and replayed from the
+    trace cache at every other rung as packed chunks.  Statistics are
+    identical either way; only wall-clock differs.
+    """
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+    from .experiments.runner import (PAPER_LADDER, PROFILES,
+                                     InstrumentationProbe, ResultCache,
+                                     multiprogramming_sweep)
+    from .trace.record import TraceCache
+    profile = PROFILES["quick"]
+    ladder = PAPER_LADDER
+    procs = (1,)
+    icache = max(16 * KB // profile.ladder_scale, 512)
+
+    def grid_configs():
+        for procs_per_cluster in procs:
+            for paper_bytes in ladder:
+                yield SystemConfig.paper_multiprogramming(
+                    procs_per_cluster,
+                    paper_bytes // profile.ladder_scale).with_updates(
+                        icache_size=icache)
+
+    baseline_times = []
+    for _ in range(max(1, repeat)):
+        begin = time.perf_counter()
+        for config in grid_configs():
+            workload = profile.multiprogramming()
+            workload.packed = False
+            probe = InstrumentationProbe(bin_width=4096,
+                                         record_events=False)
+            run_simulation(config, workload, instrumentation=probe)
+        baseline_times.append(time.perf_counter() - begin)
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    fast_times = []
+    try:
+        trace_cache = TraceCache(scratch / "traces")
+        for index in range(max(2, repeat + 1)):
+            # Fresh result cache each round so every point simulates or
+            # replays; the trace cache stays warm after round one.
+            begin = time.perf_counter()
+            multiprogramming_sweep(
+                profile, ResultCache(scratch / f"results{index}"),
+                ladder=ladder, procs=procs,
+                instrument=False, trace_cache=trace_cache)
+            fast_times.append(time.perf_counter() - begin)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    baseline_s = min(baseline_times)
+    cold_s = fast_times[0]
+    warm_s = min(fast_times[1:])
+    return {
+        "grid": f"multiprogramming quick, ladder={sorted(ladder)}, "
+                f"procs={list(procs)}",
+        "baseline_instrumented_generator_s": round(baseline_s, 4),
+        "fast_cold_s": round(cold_s, 4),
+        "fast_warm_s": round(warm_s, 4),
+        "speedup_cold": round(baseline_s / cold_s, 2),
+        "speedup_warm": round(baseline_s / warm_s, 2),
+        "repeats": repeat,
+    }
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import platform
+    import time
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if args.scenario in ("all", "point"):
+        print("timing quick Barnes-Hut point "
+              "(packed vs event-object path)...")
+        report["quick_barnes_hut"] = point = _bench_point(args.repeat)
+        print(f"  events          : {point['events']:,}")
+        print(f"  packed          : {point['packed_s']:.3f} s "
+              f"({point['packed_events_per_s']:,} events/s)")
+        print(f"  event objects   : {point['generator_s']:.3f} s")
+        print(f"  speedup         : {point['speedup']:.2f}x")
+    if args.scenario in ("all", "sweep"):
+        print("timing multiprogramming sweep "
+              "(trace-cached vs instrumented resimulation)...")
+        report["multiprog_sweep"] = sweep = _bench_sweep(args.repeat)
+        print(f"  baseline        : "
+              f"{sweep['baseline_instrumented_generator_s']:.3f} s")
+        print(f"  fast (cold)     : {sweep['fast_cold_s']:.3f} s "
+              f"({sweep['speedup_cold']:.2f}x)")
+        print(f"  fast (warm)     : {sweep['fast_warm_s']:.3f} s "
+              f"({sweep['speedup_warm']:.2f}x)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in BENCHMARKS:
@@ -318,6 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_list()
 
 

@@ -42,7 +42,8 @@ class DirectMappedArray:
     line numbers first (see :meth:`repro.core.config.SystemConfig.line_of`).
     """
 
-    __slots__ = ("num_lines", "_tags", "_states")
+    __slots__ = ("num_lines", "_tags", "_states", "_index_mask",
+                 "_tag_shift")
 
     def __init__(self, num_lines: int):
         if num_lines < 1:
@@ -50,6 +51,14 @@ class DirectMappedArray:
         self.num_lines = num_lines
         self._tags = [0] * num_lines
         self._states = [INVALID] * num_lines
+        # Power-of-two line counts (every paper configuration) replace the
+        # divmod in index/tag extraction with a mask and a shift.
+        if num_lines & (num_lines - 1) == 0 and num_lines > 1:
+            self._index_mask = num_lines - 1
+            self._tag_shift = num_lines.bit_length() - 1
+        else:
+            self._index_mask = 0
+            self._tag_shift = 0
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -57,10 +66,14 @@ class DirectMappedArray:
 
     def index_of(self, line: int) -> int:
         """Set index a global line number maps to."""
+        if self._index_mask:
+            return line & self._index_mask
         return line % self.num_lines
 
     def tag_of(self, line: int) -> int:
         """Tag stored for a global line number."""
+        if self._index_mask:
+            return line >> self._tag_shift
         return line // self.num_lines
 
     # ------------------------------------------------------------------
@@ -69,9 +82,16 @@ class DirectMappedArray:
 
     def state(self, line: int) -> int:
         """Current state of ``line`` (``INVALID`` if not resident)."""
-        index = self.index_of(line)
-        if self._states[index] != INVALID and self._tags[index] == self.tag_of(line):
-            return self._states[index]
+        if self._index_mask:
+            index = line & self._index_mask
+            state = self._states[index]
+            if state != INVALID and self._tags[index] == line >> self._tag_shift:
+                return state
+            return INVALID
+        index = line % self.num_lines
+        state = self._states[index]
+        if state != INVALID and self._tags[index] == line // self.num_lines:
+            return state
         return INVALID
 
     def contains(self, line: int) -> bool:
@@ -171,16 +191,21 @@ class SetAssociativeArray:
         return line % self.num_sets
 
     def _find(self, line: int):
-        bucket = self._sets[self.index_of(line)]
-        for position, entry in enumerate(bucket):
+        bucket = self._sets[line % self.num_sets]
+        for position in range(len(bucket)):
+            entry = bucket[position]
             if entry[0] == line:
                 return bucket, position, entry
         return bucket, -1, None
 
     def state(self, line: int) -> int:
         """Current state of ``line`` (``INVALID`` if not resident)."""
-        _, position, entry = self._find(line)
-        return entry[1] if position >= 0 else INVALID
+        # The by-far hottest lookup: scan without building the
+        # (bucket, position, entry) result tuple _find returns.
+        for entry in self._sets[line % self.num_sets]:
+            if entry[0] == line:
+                return entry[1]
+        return INVALID
 
     def contains(self, line: int) -> bool:
         """True when ``line`` is resident in any valid state."""

@@ -90,15 +90,21 @@ class CoherenceController:
         """
         scc = self.sccs[cluster]
         if is_write:
-            return self._write(scc, line, start)
-        return self._read(scc, line, start)
+            return self.write_line(scc, line, start)
+        return self.read_line(scc, line, start)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
 
-    def _read(self, scc: SharedClusterCache, line: int,
-              start: int) -> AccessOutcome:
+    def read_line(self, scc: SharedClusterCache, line: int,
+                  start: int) -> AccessOutcome:
+        """Protocol action for one read reaching ``scc`` at ``start``.
+
+        Public (rather than ``_read``) because the interleaver's packed
+        fast path calls it directly on the miss branch after performing
+        the tag check inline.
+        """
         scc.stats.reads += 1
         if scc.array.state(line) != INVALID:
             # Hit -- but a fill may still be in flight (another processor
@@ -131,6 +137,42 @@ class CoherenceController:
         return AccessOutcome(complete=tx.done + 1, retire=tx.done + 1,
                              hit=False, bus_wait=tx.wait)
 
+    def read_miss(self, scc: SharedClusterCache, line: int,
+                  start: int) -> int:
+        """Known-miss read entry for the interleaver's packed fast path.
+
+        The caller has already performed the tag check inline and the
+        fast-path gate guarantees no probe is attached, so this skips the
+        hit branch, the probe hooks, and the :class:`AccessOutcome` /
+        :class:`~repro.core.bus.BusTransaction` allocations of
+        :meth:`read_line` -- the protocol actions and statistics are
+        identical.  Returns the completion cycle.
+        """
+        stats = scc.stats
+        stats.reads += 1
+        stats.read_misses += 1
+        if scc.consume_lost(line):
+            stats.coherence_read_misses += 1
+        config = self.config
+        occupancy = config.bus_occupancy
+        bus = self.bus
+        grant = bus._busy_until
+        if grant < start:
+            grant = start
+        bus._busy_until = grant + occupancy
+        bus.transactions += 1
+        bus.busy_cycles += occupancy
+        if bus.probe is not NULL_PROBE:
+            bus.probe.bus_acquire(bus.name, start, grant, occupancy)
+        stats.bus_wait_cycles += grant - start
+        done = grant + config.memory_latency
+        state = SHARED
+        if not self._snoop_downgrade(scc, line) \
+                and config.protocol == "mesi":
+            state = EXCLUSIVE
+        self._install(scc, line, state, start=start, ready=done)
+        return done + 1
+
     def _snoop_downgrade(self, requester: SharedClusterCache,
                          line: int) -> bool:
         """A read miss downgrades remote MODIFIED/EXCLUSIVE copies to
@@ -154,8 +196,10 @@ class CoherenceController:
     # Writes
     # ------------------------------------------------------------------
 
-    def _write(self, scc: SharedClusterCache, line: int,
-               start: int) -> AccessOutcome:
+    def write_line(self, scc: SharedClusterCache, line: int,
+                   start: int) -> AccessOutcome:
+        """Protocol action for one write reaching ``scc`` at ``start``
+        (public for the same reason as :meth:`read_line`)."""
         scc.stats.writes += 1
         state = scc.array.state(line)
         if state == MODIFIED or state == EXCLUSIVE:

@@ -58,6 +58,13 @@ class MultiprocessorSystem:
         self._procs = [
             proc for cluster in self.clusters for proc in cluster.processors
         ]
+        # data_access is the hottest method in the simulator; resolve the
+        # per-processor routing and the scalar config fields once.
+        self._proc_cluster = [config.cluster_of(p)
+                              for p in range(config.total_processors)]
+        self._proc_scc = [self.clusters[c].scc for c in self._proc_cluster]
+        self._line_shift = config.line_offset_bits
+        self._stall_on_writes = config.stall_on_writes
 
     # ------------------------------------------------------------------
     # Memory events
@@ -72,15 +79,15 @@ class MultiprocessorSystem:
         write-buffer slot (stalling only if the buffer is full).  Loads
         stall for the full miss latency; stores retire in the background.
         """
-        cluster_id = self.config.cluster_of(proc)
-        scc = self.clusters[cluster_id].scc
-        line = self.config.line_of(addr)
+        cluster_id = self._proc_cluster[proc]
+        scc = self._proc_scc[proc]
+        line = addr >> self._line_shift
         start, _wait = scc.claim_bank(line, now)
         outcome: AccessOutcome = self.coherence.access(
             cluster_id, line, is_write, start)
         complete = outcome.complete
         if is_write:
-            if self.config.stall_on_writes:
+            if self._stall_on_writes:
                 # Sequential consistency without buffering: the store
                 # holds the processor until it is globally performed.
                 complete = max(complete, outcome.retire)

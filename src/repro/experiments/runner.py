@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.config import KB, SystemConfig
 from ..instrument import InstrumentationProbe
 from ..simulation import run_simulation
+from ..trace.record import ReplayApplication, StreamRecorder, TraceCache
 from ..workloads.barnes_hut import BarnesHut
 from ..workloads.cholesky import Cholesky
 from ..workloads.mp3d import MP3D
@@ -197,26 +198,26 @@ def default_cache() -> ResultCache:
 # ----------------------------------------------------------------------
 
 def _stats_key(benchmark: str, profile: ExperimentProfile,
-               config: SystemConfig) -> str:
-    return (f"{benchmark}|{profile}|clusters={config.clusters}"
-            f"|procs={config.processors_per_cluster}"
-            f"|scc={config.scc_size}|icache={config.icache_size}"
-            f"|model_icache={config.model_icache}")
+               config: SystemConfig, instrument: bool = True) -> str:
+    key = (f"{benchmark}|{profile}|clusters={config.clusters}"
+           f"|procs={config.processors_per_cluster}"
+           f"|scc={config.scc_size}|icache={config.icache_size}"
+           f"|model_icache={config.model_icache}")
+    if not instrument:
+        # Digest-less payloads get their own entries so a benchmark run
+        # never shadows the default instrumented payload (and the default
+        # key format is unchanged from earlier cache generations).
+        key += "|instrument=False"
+    return key
 
 
-def _compute_point(benchmark: str, profile: ExperimentProfile,
-                   config: SystemConfig) -> RunStats:
-    """Actually simulate one configuration (no cache involved).
-
-    Module-level (not nested) so ``ProcessPoolExecutor`` can pickle it
-    for ``--jobs`` parallel sweeps.  Every point runs with summary-only
-    instrumentation: the observability digest rides along in the cached
-    payload at negligible cost relative to the simulation itself.
-    """
-    probe = InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
-                                 record_events=False)
-    result = run_simulation(config, profile.workload(benchmark),
-                            instrumentation=probe)
+def _simulate(application, config: SystemConfig,
+              instrument: bool) -> RunStats:
+    """One simulation of any workload object, reduced to RunStats."""
+    probe = (InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
+                                  record_events=False)
+             if instrument else None)
+    result = run_simulation(config, application, instrumentation=probe)
     total = result.stats.total_scc
     return RunStats(
         execution_time=result.stats.execution_time,
@@ -226,20 +227,37 @@ def _compute_point(benchmark: str, profile: ExperimentProfile,
         reads=total.reads,
         writes=total.writes,
         events=result.events_processed,
-        instrument=probe.summary(),
+        instrument=probe.summary() if probe is not None else None,
     )
+
+
+def _compute_point(benchmark: str, profile: ExperimentProfile,
+                   config: SystemConfig,
+                   instrument: bool = True) -> RunStats:
+    """Actually simulate one configuration (no cache involved).
+
+    Module-level (not nested) so ``ProcessPoolExecutor`` can pickle it
+    for ``--jobs`` parallel sweeps.  By default every point runs with
+    summary-only instrumentation: the observability digest rides along
+    in the cached payload.  ``instrument=False`` drops the digest and
+    keeps the simulation on the interleaver's packed fast path (an
+    attached probe forces the event-at-a-time path), which is what the
+    benchmark harness measures.
+    """
+    return _simulate(profile.workload(benchmark), config, instrument)
 
 
 def run_point(benchmark: str, profile: ExperimentProfile,
               config: SystemConfig,
-              cache: Optional[ResultCache] = None) -> RunStats:
+              cache: Optional[ResultCache] = None,
+              instrument: bool = True) -> RunStats:
     """Simulate one configuration (or fetch it from the cache)."""
-    key = _stats_key(benchmark, profile, config)
+    key = _stats_key(benchmark, profile, config, instrument)
     if cache is not None:
         cached = cache.get(key)
         if cached is not None:
             return cached
-    stats = _compute_point(benchmark, profile, config)
+    stats = _compute_point(benchmark, profile, config, instrument)
     if cache is not None:
         cache.put(key, stats)
     return stats
@@ -254,7 +272,9 @@ GridPoint = Tuple[int, int]
 def _run_grid(benchmark: str, profile: ExperimentProfile,
               configs: Dict[GridPoint, SystemConfig],
               cache: Optional[ResultCache],
-              jobs: Optional[int]) -> Sweep:
+              jobs: Optional[int],
+              instrument: bool = True,
+              trace_cache: Optional[TraceCache] = None) -> Sweep:
     """Resolve a grid of configurations through the cache, simulating
     the missing points serially or on ``jobs`` worker processes.
 
@@ -262,16 +282,26 @@ def _run_grid(benchmark: str, profile: ExperimentProfile,
     parallel runs share entries; workers never touch the cache (the
     parent writes results back), which keeps the scheme safe on any
     filesystem.
+
+    Rows whose workload passes the stream-determinism guard resolve
+    through the trace cache first: the row's stream is recorded once
+    (or loaded from disk) and replayed at every other rung of the
+    ladder, skipping the workload's Python entirely.
     """
     sweep: Sweep = {}
     missing: List[GridPoint] = []
     for point, config in configs.items():
-        cached = (cache.get(_stats_key(benchmark, profile, config))
+        cached = (cache.get(_stats_key(benchmark, profile, config,
+                                       instrument))
                   if cache is not None else None)
         if cached is not None:
             sweep[point] = cached
         else:
             missing.append(point)
+    if missing:
+        missing = _resolve_via_traces(benchmark, profile, configs,
+                                      missing, sweep, cache, instrument,
+                                      trace_cache)
     if not missing:
         return sweep
     if jobs is not None and jobs > 1:
@@ -280,18 +310,75 @@ def _run_grid(benchmark: str, profile: ExperimentProfile,
                 _compute_point,
                 [benchmark] * len(missing),
                 [profile] * len(missing),
-                [configs[point] for point in missing])
+                [configs[point] for point in missing],
+                [instrument] * len(missing))
             computed = dict(zip(missing, results))
     else:
         computed = {point: _compute_point(benchmark, profile,
-                                          configs[point])
+                                          configs[point], instrument)
                     for point in missing}
     for point, stats in computed.items():
         if cache is not None:
-            cache.put(_stats_key(benchmark, profile, configs[point]),
+            cache.put(_stats_key(benchmark, profile, configs[point],
+                                 instrument),
                       stats)
         sweep[point] = stats
     return sweep
+
+
+def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
+                        configs: Dict[GridPoint, SystemConfig],
+                        missing: List[GridPoint], sweep: Sweep,
+                        cache: Optional[ResultCache],
+                        instrument: bool,
+                        trace_cache: Optional[TraceCache]) -> List[GridPoint]:
+    """Record-once/replay-everywhere for the grid rows that allow it.
+
+    A row is all missing points with the same processor count (the
+    ladder rungs); its per-process streams are identical across the row
+    exactly when :meth:`~repro.workloads.base.TracedApplication
+    .stream_is_deterministic` holds there, and the recording is keyed by
+    :meth:`~repro.workloads.base.TracedApplication.trace_signature`.
+    Rows that fail either guard are returned for normal simulation.
+    """
+    by_row: Dict[int, List[GridPoint]] = {}
+    for point in missing:
+        by_row.setdefault(point[0], []).append(point)
+    remainder: List[GridPoint] = []
+    resolved: Dict[GridPoint, RunStats] = {}
+    for row_points in by_row.values():
+        row_points = sorted(row_points)
+        probe_workload = profile.workload(benchmark)
+        config0 = configs[row_points[0]]
+        signature = probe_workload.trace_signature(config0)
+        if (signature is None
+                or not probe_workload.stream_is_deterministic(config0)):
+            remainder.extend(row_points)
+            continue
+        tcache = trace_cache if trace_cache is not None else TraceCache()
+        streams = tcache.get(signature)
+        if streams is None:
+            # Record the row's stream while computing its first point.
+            point = row_points.pop(0)
+            recorder = StreamRecorder(profile.workload(benchmark))
+            resolved[point] = _simulate(recorder, configs[point],
+                                        instrument)
+            streams = recorder.streams
+            if streams is not None:
+                tcache.put(signature, streams)
+        if streams is None:
+            remainder.extend(row_points)
+            continue
+        for point in row_points:
+            replay = ReplayApplication(streams, name=benchmark)
+            resolved[point] = _simulate(replay, configs[point], instrument)
+    for point, stats in resolved.items():
+        if cache is not None:
+            cache.put(_stats_key(benchmark, profile, configs[point],
+                                 instrument),
+                      stats)
+        sweep[point] = stats
+    return remainder
 
 
 def parallel_sweep(benchmark: str,
@@ -299,12 +386,16 @@ def parallel_sweep(benchmark: str,
                    cache: Optional[ResultCache] = None,
                    ladder: Optional[Tuple[int, ...]] = None,
                    procs: Tuple[int, ...] = PROCS_SWEPT,
-                   jobs: Optional[int] = None) -> Sweep:
+                   jobs: Optional[int] = None,
+                   instrument: bool = True,
+                   trace_cache: Optional[TraceCache] = None) -> Sweep:
     """The Section 3.1 grid for one parallel benchmark.
 
     Keys use *paper* SCC bytes; the simulated size is the paper size
     divided by the profile's ladder scale.  ``jobs`` > 1 simulates
     uncached points concurrently on that many worker processes.
+    ``instrument=False`` skips the observability digest and keeps the
+    simulations on the packed fast path.
     """
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
@@ -315,14 +406,17 @@ def parallel_sweep(benchmark: str,
         for paper_bytes in ladder
         for procs_per_cluster in procs
     }
-    return _run_grid(benchmark, profile, configs, cache, jobs)
+    return _run_grid(benchmark, profile, configs, cache, jobs,
+                     instrument, trace_cache)
 
 
 def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
                            cache: Optional[ResultCache] = None,
                            ladder: Optional[Tuple[int, ...]] = None,
                            procs: Tuple[int, ...] = PROCS_SWEPT,
-                           jobs: Optional[int] = None) -> Sweep:
+                           jobs: Optional[int] = None,
+                           instrument: bool = True,
+                           trace_cache: Optional[TraceCache] = None) -> Sweep:
     """The Section 3.2 grid (single cluster, icache modelled & scaled)."""
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
@@ -336,4 +430,5 @@ def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
         for paper_bytes in ladder
         for procs_per_cluster in procs
     }
-    return _run_grid("multiprogramming", profile, configs, cache, jobs)
+    return _run_grid("multiprogramming", profile, configs, cache, jobs,
+                     instrument, trace_cache)

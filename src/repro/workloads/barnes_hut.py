@@ -34,6 +34,8 @@ import numpy as np
 
 from ..core.config import SystemConfig
 from ..trace.events import Barrier, Compute, LockAcquire, LockRelease, Read, Write
+from ..trace.packed import (OP_COMPUTE, OP_READ, OP_WRITE, PackedChunk,
+                            decode_events)
 from .base import TracedApplication
 from .memory import SharedHeap
 
@@ -130,6 +132,11 @@ class BarnesHut(TracedApplication):
         self.softening = softening
         self.seed = seed
 
+    def __repr__(self) -> str:
+        return (f"BarnesHut(n_bodies={self.n_bodies}, steps={self.steps}, "
+                f"theta={self.theta}, dt={self.dt}, "
+                f"softening={self.softening}, seed={self.seed})")
+
     def processes(self, config: SystemConfig) -> Dict[int, Generator]:
         run = _BarnesHutRun(self, config)
         return {proc: run.process(proc)
@@ -178,6 +185,25 @@ class _BarnesHutRun:
     @staticmethod
     def cell_lock(cell: Cell) -> int:
         return _CELL_LOCK_BASE + cell.index
+
+    def _flush(self, buf: List[int]) -> Generator:
+        """Yield a built-up packed buffer in the form the app is set to.
+
+        Chunk safety (see repro.trace.packed): the summarize, force and
+        update phases only read tree/body state that no other process
+        mutates between the enclosing barriers, and their own Python-side
+        mutations (cell.com, body.acc, body.vel/pos, body.cost) are read
+        by other processes only after a later barrier -- so computing a
+        whole phase's events up front observes exactly the values the
+        event-at-a-time path would.  The *insert* phase races on per-cell
+        locks and must keep yielding objects; it never comes through here.
+        """
+        if not buf:
+            return
+        if self.app.packed:
+            yield PackedChunk(buf)
+        else:
+            yield from decode_events(buf)
 
     # -- process generators ----------------------------------------------
 
@@ -331,21 +357,25 @@ class _BarnesHutRun:
             level = self.levels[depth]
             lo = (proc * len(level)) // n
             hi = ((proc + 1) * len(level)) // n
+            buf: List[int] = []
             for cell in level[lo:hi]:
-                yield from self._summarize_cell(cell)
+                self._summarize_cell(cell, buf)
+            yield from self._flush(buf)
             yield Barrier(7, n)
 
-    def _summarize_cell(self, cell: Cell) -> Generator:
+    def _summarize_cell(self, cell: Cell, buf: List[int]) -> None:
         mass = 0.0
         com = [0.0, 0.0, 0.0]
         for child in cell.children:
             if child is None:
                 continue
             if isinstance(child, Cell):
-                yield Read(self.cell_addr(child, _CELL_COM))
+                buf.append(OP_READ)
+                buf.append(self.cell_addr(child, _CELL_COM))
                 child_mass, child_com = child.mass, child.com
             else:
-                yield Read(self.body_addr(child, _BODY_POS))
+                buf.append(OP_READ)
+                buf.append(self.body_addr(child, _BODY_POS))
                 child_mass, child_com = child.mass, child.pos
             mass += child_mass
             for axis in range(3):
@@ -355,8 +385,10 @@ class _BarnesHutRun:
                 com[axis] /= mass
         cell.mass = mass
         cell.com = com
-        yield Write(self.cell_addr(cell, _CELL_COM))
-        yield Compute(_INTERACTION_COMPUTE)
+        buf.append(OP_WRITE)
+        buf.append(self.cell_addr(cell, _CELL_COM))
+        buf.append(OP_COMPUTE)
+        buf.append(_INTERACTION_COMPUTE)
 
     # -- partitioning -----------------------------------------------------
 
@@ -380,66 +412,112 @@ class _BarnesHutRun:
     # -- force computation -------------------------------------------------
 
     def _force_phase(self, proc: int) -> Generator:
+        buf: List[int] = []
         for body in self.assignments[proc]:
-            yield Read(self.body_addr(body, _BODY_POS))
-            yield from self._gravity(body)
-            yield Write(self.body_addr(body, _BODY_ACC))
-            yield Write(self.body_addr(body, _BODY_ACC + 16))
+            buf.append(OP_READ)
+            buf.append(self.body_addr(body, _BODY_POS))
+            self._gravity(body, buf)
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_ACC))
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_ACC + 16))
+        yield from self._flush(buf)
 
-    def _gravity(self, body: Body) -> Generator:
-        """Traverse the tree accumulating acceleration on ``body``."""
-        acc = [0.0, 0.0, 0.0]
+    def _gravity(self, body: Body, buf: List[int]) -> None:
+        """Traverse the tree accumulating acceleration on ``body``.
+
+        The hottest generator loop in the workload: interaction physics
+        and address arithmetic are inlined (no per-node helper calls) and
+        each node appends its events with a single tuple extend.
+        """
         eps2 = self.app.softening ** 2
         theta2 = self.app.theta ** 2
         interactions = 0
+        body_base = self.body_region.base
+        cell_base = self.cell_region.base
+        bpos = body.pos
+        bx = bpos[0]
+        by = bpos[1]
+        bz = bpos[2]
+        ax = ay = az = 0.0
+        sqrt = math.sqrt
         stack: List[object] = [self.root]
         while stack:
             node = stack.pop()
-            if isinstance(node, Body):
+            if node.__class__ is Body:
                 if node is body:
                     continue
-                yield Read(self.body_addr(node, _BODY_POS))
-                yield Read(self.body_addr(node, _BODY_POS + 16))
-                _accumulate(acc, body.pos, node.pos, node.mass, eps2)
-                yield Compute(_INTERACTION_COMPUTE)
+                addr = body_base + node.index * _BODY_RECORD + _BODY_POS
+                buf += (OP_READ, addr, OP_READ, addr + 16,
+                        OP_COMPUTE, _INTERACTION_COMPUTE)
+                src = node.pos
+                dx = src[0] - bx
+                dy = src[1] - by
+                dz = src[2] - bz
+                dist2 = dx * dx + dy * dy + dz * dz + eps2
+                inv = node.mass / (dist2 * sqrt(dist2))
+                ax += dx * inv
+                ay += dy * inv
+                az += dz * inv
                 interactions += 1
                 continue
             cell = node
-            yield Read(self.cell_addr(cell, _CELL_COM))
-            yield Read(self.cell_addr(cell, _CELL_COM + 16))
-            dist2 = _distance2(body.pos, cell.com) + eps2
-            yield Compute(_OPEN_TEST_COMPUTE)
+            caddr = cell_base + cell.index * _CELL_RECORD
+            com = cell.com
+            dx = com[0] - bx
+            dy = com[1] - by
+            dz = com[2] - bz
+            dist2 = dx * dx + dy * dy + dz * dz + eps2
             size = 2.0 * cell.half
             if size * size < dist2 * theta2:
                 # Far enough: use the cell's centre-of-mass approximation.
-                _accumulate(acc, body.pos, cell.com, cell.mass, eps2)
-                yield Compute(_INTERACTION_COMPUTE)
+                buf += (OP_READ, caddr + _CELL_COM,
+                        OP_READ, caddr + _CELL_COM + 16,
+                        OP_COMPUTE, _OPEN_TEST_COMPUTE,
+                        OP_COMPUTE, _INTERACTION_COMPUTE)
+                inv = cell.mass / (dist2 * sqrt(dist2))
+                ax += dx * inv
+                ay += dy * inv
+                az += dz * inv
                 interactions += 1
                 continue
-            yield Read(self.cell_addr(cell, _CELL_CHILDREN))
-            yield Read(self.cell_addr(cell, _CELL_CHILDREN + 32))
+            buf += (OP_READ, caddr + _CELL_COM,
+                    OP_READ, caddr + _CELL_COM + 16,
+                    OP_COMPUTE, _OPEN_TEST_COMPUTE,
+                    OP_READ, caddr + _CELL_CHILDREN,
+                    OP_READ, caddr + _CELL_CHILDREN + 32)
             for child in cell.children:
                 if child is not None:
                     stack.append(child)
-        body.acc = acc
+        body.acc = [ax, ay, az]
         body.cost = max(interactions, 1)
 
     # -- integration ---------------------------------------------------------
 
     def _update_phase(self, proc: int) -> Generator:
         dt = self.app.dt
+        buf: List[int] = []
         for body in self.assignments[proc]:
-            yield Read(self.body_addr(body, _BODY_ACC))
-            yield Read(self.body_addr(body, _BODY_VEL))
+            buf.append(OP_READ)
+            buf.append(self.body_addr(body, _BODY_ACC))
+            buf.append(OP_READ)
+            buf.append(self.body_addr(body, _BODY_VEL))
             for axis in range(3):
                 body.vel[axis] += body.acc[axis] * dt
                 body.pos[axis] += body.vel[axis] * dt
-            yield Write(self.body_addr(body, _BODY_VEL))
-            yield Write(self.body_addr(body, _BODY_VEL + 16))
-            yield Read(self.body_addr(body, _BODY_POS))
-            yield Write(self.body_addr(body, _BODY_POS))
-            yield Write(self.body_addr(body, _BODY_POS + 16))
-            yield Compute(_UPDATE_COMPUTE)
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_VEL))
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_VEL + 16))
+            buf.append(OP_READ)
+            buf.append(self.body_addr(body, _BODY_POS))
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_POS))
+            buf.append(OP_WRITE)
+            buf.append(self.body_addr(body, _BODY_POS + 16))
+            buf.append(OP_COMPUTE)
+            buf.append(_UPDATE_COMPUTE)
+        yield from self._flush(buf)
 
 
 # ----------------------------------------------------------------------

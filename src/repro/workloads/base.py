@@ -15,7 +15,7 @@ hand-tuned statistics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Generator, Iterator
+from typing import Dict, Generator, Iterator, Optional
 
 from ..core.config import SystemConfig
 from ..trace.events import Compute, Read, TraceEvent, Write
@@ -36,9 +36,48 @@ class TracedApplication(ABC):
 
     name: str = "application"
 
+    packed: bool = True
+    """Emit :class:`~repro.trace.packed.PackedChunk` runs where the
+    workload's chunk-validity analysis allows it.  ``False`` forces the
+    one-object-per-event generator path everywhere (the golden-equivalence
+    suite flips this to prove both paths produce identical statistics)."""
+
+    deterministic_stream: bool = False
+    """Capability flag: ``True`` asserts the per-process event *content*
+    (not its interleaving) is independent of the machine configuration, so
+    a stream recorded on one configuration replays exactly on any other.
+    The SPLASH kernels here race on locks and task queues, which feeds
+    timing back into the data each process touches, so none of them can
+    claim it for the general case; see :meth:`stream_is_deterministic`."""
+
     @abstractmethod
     def processes(self, config: SystemConfig) -> Dict[int, Generator]:
         """Map each processor id to its trace-event generator."""
+
+    def stream_is_deterministic(self, config: SystemConfig) -> bool:
+        """Whether a recording made on ``config`` replays bit-identically
+        on any configuration with the same processor layout.
+
+        A single-processor machine has no interleaving at all, so every
+        (deterministic-by-construction) workload qualifies; beyond that a
+        workload must opt in via :attr:`deterministic_stream`.
+        """
+        return self.deterministic_stream or config.total_processors == 1
+
+    def trace_signature(self, config: SystemConfig) -> Optional[str]:
+        """Key identifying the recorded stream for the trace cache, or
+        ``None`` when the workload cannot be keyed (e.g. it was built
+        around un-reconstructable objects).  Two configurations with equal
+        signatures replay each other's recordings -- so the signature must
+        cover the workload identity and every parameter that feeds event
+        content, plus the processor layout.
+        """
+        if type(self).__repr__ is TracedApplication.__repr__:
+            # The parameterless default repr cannot distinguish two
+            # instances of the same workload; refuse to key the cache.
+            return None
+        return (f"{type(self).__name__}|{self!r}|c{config.clusters}"
+                f"|p{config.processors_per_cluster}")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

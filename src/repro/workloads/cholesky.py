@@ -28,6 +28,8 @@ import numpy as np
 from ..core.config import SystemConfig
 from ..trace.events import (Barrier, Compute, LockAcquire, LockRelease,
                             Read, TaskDequeue, TaskEnqueue, Write)
+from ..trace.packed import (OP_COMPUTE, OP_READ_SPAN, OP_WRITE_SPAN,
+                            PackedChunk, decode_events)
 from .base import TracedApplication
 from .matrices import (SparsePattern, Supernode, bcsstk_like, supernodes,
                        symbolic_factor)
@@ -61,12 +63,27 @@ class Cholesky(TracedApplication):
     def __init__(self, n: int = 416, seed: int = 3,
                  max_supernode_width: int = 4, supernode_relax: int = 2,
                  pattern: Optional[SparsePattern] = None):
+        self._custom_pattern = pattern is not None
         if pattern is None:
             pattern = bcsstk_like(n=n, seed=seed)
         self.pattern = pattern
+        self.n = n
         self.seed = seed
         self.max_supernode_width = max_supernode_width
         self.supernode_relax = supernode_relax
+
+    def __repr__(self) -> str:
+        if self._custom_pattern:
+            return f"Cholesky(pattern=<custom n={self.pattern.n}>)"
+        return (f"Cholesky(n={self.n}, seed={self.seed}, "
+                f"max_supernode_width={self.max_supernode_width}, "
+                f"supernode_relax={self.supernode_relax})")
+
+    def trace_signature(self, config: SystemConfig) -> Optional[str]:
+        if self._custom_pattern:
+            # A caller-supplied pattern cannot be identified by repr.
+            return None
+        return super().trace_signature(config)
 
     def processes(self, config: SystemConfig) -> Dict[int, Generator]:
         run = _CholeskyRun(self, config)
@@ -145,6 +162,15 @@ class _CholeskyRun:
         for offset in range(0, length, _EVENT_STRIDE):
             yield event(base + offset)
 
+    def _flush(self, buf: List[int]) -> Generator:
+        """Yield a built-up packed buffer in the form the app is set to."""
+        if not buf:
+            return
+        if self.app.packed:
+            yield PackedChunk(buf)
+        else:
+            yield from decode_events(buf)
+
     # -- process generators ----------------------------------------------
 
     def process(self, proc: int) -> Generator:
@@ -185,24 +211,37 @@ class _CholeskyRun:
         self.completed += 1
 
     def _cdiv(self, s: int) -> Generator:
-        """Factor supernode ``s``'s diagonal block and scale its rows."""
+        """Factor supernode ``s``'s diagonal block and scale its rows.
+
+        Chunk safety (see repro.trace.packed): by the time ``s`` was
+        dequeued every incoming update had been applied, so no other
+        process touches ``blocks[s]`` again -- the numeric factorization
+        can run at chunk-build time and the whole read/compute/write
+        sequence travels as one chunk.  ``factored[s]`` flips only after
+        the chunk drains, exactly where the event-at-a-time generator
+        performed the assignment.
+        """
         node = self.supers[s]
         block = self.blocks[s]
         w, h = node.width, node.height
         # Read the whole block, factor, write it back.
+        buf: List[int] = []
         for local_col in range(w):
-            yield from self._stream(s, local_col, local_col,
-                                    h - local_col, write=False)
+            base, length = self._block_span(s, local_col, local_col,
+                                            h - local_col)
+            buf += (OP_READ_SPAN, base, length, _EVENT_STRIDE)
         lower = np.tril(block[:w, :])
         symmetric = lower + lower.T - np.diag(np.diag(lower))
         chol = np.linalg.cholesky(symmetric)
         block[:w, :] = np.tril(chol)
         if h > w:
             block[w:, :] = _solve_lower_transpose(chol, block[w:, :])
-        yield Compute(max(w * w * h * _FLOP_CYCLES // 2, 1))
+        buf += (OP_COMPUTE, max(w * w * h * _FLOP_CYCLES // 2, 1))
         for local_col in range(w):
-            yield from self._stream(s, local_col, local_col,
-                                    h - local_col, write=True)
+            base, length = self._block_span(s, local_col, local_col,
+                                            h - local_col)
+            buf += (OP_WRITE_SPAN, base, length, _EVENT_STRIDE)
+        yield from self._flush(buf)
         self.factored[s] = True
 
     def _cmod(self, s: int, t: int) -> Generator:
@@ -219,11 +258,18 @@ class _CholeskyRun:
         affected = [(k, row) for k, row in below if row >= target.first]
         if not hit:
             return
-        # Read the source rows involved (the L panel of s).
+        # Read the source rows involved (the L panel of s).  Chunk
+        # safety: blocks[s] is quiescent (only this process reads it once
+        # s is factored), so the panel reads travel as one chunk; the
+        # racy target-block mutations below stay pinned to their lock
+        # acquisitions.
         first_k = min(k for k, _ in affected)
+        buf: List[int] = []
         for local_col in range(w):
-            yield from self._stream(s, local_col, first_k,
-                                    source.height - first_k, write=False)
+            base, length = self._block_span(s, local_col, first_k,
+                                            source.height - first_k)
+            buf += (OP_READ_SPAN, base, length, _EVENT_STRIDE)
+        yield from self._flush(buf)
         # Compute the outer-product contributions and scatter-subtract.
         panel = block[[k for k, _ in affected], :]      # |R| x w
         pivot = block[[k for k, _ in hit], :]           # |C| x w
@@ -248,7 +294,9 @@ class _CholeskyRun:
                         f"target supernode's structure")
             if not rows_here:
                 continue
-            # Per-column lock (SPLASH's column-level protection).
+            # Per-column lock (SPLASH's column-level protection).  The
+            # scatter-subtract must run after the acquire is granted,
+            # exactly as the event-at-a-time path did.
             yield LockAcquire(_COLUMN_LOCK_BASE + col_row)
             for r_idx, row in rows_here:
                 tgt_block[tgt_pos[row], local_col] -= update[r_idx, c_idx]
@@ -258,11 +306,12 @@ class _CholeskyRun:
             # emitted span approximates the scatter as a contiguous run
             # capped at the block end.
             count = min(len(rows_here), target.height - first_target_row)
-            yield from self._stream(t, local_col, first_target_row,
-                                    count, write=False)
-            yield Compute(max(len(rows_here) * w * _FLOP_CYCLES, 1))
-            yield from self._stream(t, local_col, first_target_row,
-                                    count, write=True)
+            base, length = self._block_span(t, local_col, first_target_row,
+                                            count)
+            buf = [OP_READ_SPAN, base, length, _EVENT_STRIDE,
+                   OP_COMPUTE, max(len(rows_here) * w * _FLOP_CYCLES, 1),
+                   OP_WRITE_SPAN, base, length, _EVENT_STRIDE]
+            yield from self._flush(buf)
             yield LockRelease(_COLUMN_LOCK_BASE + col_row)
 
 

@@ -35,6 +35,8 @@ import numpy as np
 
 from ..core.config import SystemConfig
 from ..trace.events import Barrier, Compute, LockAcquire, LockRelease, Read, Write
+from ..trace.packed import (OP_COMPUTE, OP_READ, OP_READ_SPAN, OP_WRITE,
+                            OP_WRITE_SPAN, PackedChunk, decode_events)
 from .base import TracedApplication
 from .memory import SharedHeap
 
@@ -84,6 +86,12 @@ class MP3D(TracedApplication):
         self.grid = tuple(grid)
         self.collision_probability = collision_probability
         self.seed = seed
+
+    def __repr__(self) -> str:
+        return (f"MP3D(n_particles={self.n_particles}, steps={self.steps}, "
+                f"grid={self.grid}, "
+                f"collision_probability={self.collision_probability}, "
+                f"seed={self.seed})")
 
     def processes(self, config: SystemConfig) -> Dict[int, Generator]:
         run = _MP3DRun(self, config)
@@ -156,50 +164,80 @@ class _MP3DRun:
                 yield from self._bookkeeping()
             yield Barrier(1, self.n_procs)
 
+    def _flush(self, buf: List[int]) -> Generator:
+        """Yield a built-up packed buffer in the form the app is set to."""
+        if not buf:
+            return
+        if self.app.packed:
+            yield PackedChunk(buf)
+        else:
+            yield from decode_events(buf)
+
     def _move_phase(self, proc: int, mine: List[int],
                     step: int) -> Generator:
-        region = self.particle_region
-        cells = self.cell_region
+        """One step's worth of particle moves, emitted as packed chunks.
+
+        Chunk safety (see repro.trace.packed): the racy state here is
+        ``cell_partner`` (read to pick a collision partner, written after)
+        and particle velocities (a collision writes the *partner's*
+        record, which any processor may own).  Each chunk therefore ends
+        exactly where the event-at-a-time generator resumed to touch that
+        state: after the move compute (``_advance``), after the
+        partner-slot read (``partner = cell_partner[cell]``), after the
+        collide compute (``_collide``), and after the collide writes
+        (``cell_partner[cell] = particle``, whose trailing partner-slot
+        write is carried into the next particle's first chunk).  Within a
+        chunk only this particle's own addresses -- functions of its index
+        and its own position -- are touched.
+        """
+        pbase = self.particle_region.base
+        cbase = self.cell_region.base
+        tbase = self.table_region.base
+        cell_partner = self.cell_partner
+        draws = self.collision_draw
+        p_col = self.app.collision_probability
+        buf: List[int] = []
         for particle in mine:
-            # Load the particle: every field of position and velocity, as
-            # the move code touches them all.
-            for offset in range(_PARTICLE_POS, _PARTICLE_POS + 24, 8):
-                yield Read(region.record(particle, offset))
-            for offset in range(_PARTICLE_VEL, _PARTICLE_VEL + 24, 8):
-                yield Read(region.record(particle, offset))
-            # Cross-section lookups indexed by speed (read-only table).
+            # Load the particle (position and velocity are contiguous, so
+            # one span covers all six fields), look up the read-only
+            # cross-section table, and charge the move.
+            paddr = pbase + particle * _PARTICLE_RECORD
             table_slot = (particle * 37 + step * 11) % (_TABLE_SIZE // 8)
-            yield Read(self.table_region.addr(table_slot * 8))
-            yield Read(self.table_region.addr(
-                (table_slot * 8 + 256) % _TABLE_SIZE))
-            yield Compute(_MOVE_COMPUTE)
+            buf += (OP_READ_SPAN, paddr + _PARTICLE_POS, 48, 8,
+                    OP_READ, tbase + table_slot * 8,
+                    OP_READ, tbase + (table_slot * 8 + 256) % _TABLE_SIZE,
+                    OP_COMPUTE, _MOVE_COMPUTE)
+            yield from self._flush(buf)
             self._advance(particle)
-            for offset in range(_PARTICLE_POS, _PARTICLE_POS + 24, 8):
-                yield Write(region.record(particle, offset))
-            # Update the space-cell accumulators: globally shared,
-            # migratory data -- the source of MP3D's invalidation traffic.
+            # Write the moved position; update the space-cell accumulators
+            # (globally shared, migratory data -- the source of MP3D's
+            # invalidation traffic); read the collision-partner slot.
             cell = self.cell_index_of(particle)
-            for offset in range(_CELL_ACCUM, _CELL_ACCUM + 24, 8):
-                yield Read(cells.record(cell, offset))
-            yield Compute(_ACCUM_COMPUTE)
-            for offset in range(_CELL_ACCUM, _CELL_ACCUM + 24, 8):
-                yield Write(cells.record(cell, offset))
+            caddr = cbase + cell * _CELL_RECORD
+            buf = [OP_WRITE_SPAN, paddr + _PARTICLE_POS, 24, 8,
+                   OP_READ_SPAN, caddr + _CELL_ACCUM, 24, 8,
+                   OP_COMPUTE, _ACCUM_COMPUTE,
+                   OP_WRITE_SPAN, caddr + _CELL_ACCUM, 24, 8,
+                   OP_READ, caddr + _CELL_PARTNER]
+            yield from self._flush(buf)
             # Collision: pair with the last particle that visited this
             # cell, whoever owns it.
-            yield Read(cells.record(cell, _CELL_PARTNER))
-            partner = self.cell_partner[cell]
+            partner = cell_partner[cell]
             if (partner >= 0 and partner != particle
-                    and self.collision_draw[step, particle]
-                    < self.app.collision_probability):
-                for offset in range(_PARTICLE_VEL, _PARTICLE_VEL + 24, 8):
-                    yield Read(region.record(partner, offset))
-                yield Compute(_COLLIDE_COMPUTE)
+                    and draws[step, particle] < p_col):
+                vaddr = pbase + partner * _PARTICLE_RECORD + _PARTICLE_VEL
+                myvel = paddr + _PARTICLE_VEL
+                buf = [OP_READ_SPAN, vaddr, 24, 8,
+                       OP_COMPUTE, _COLLIDE_COMPUTE]
+                yield from self._flush(buf)
                 self._collide(particle, partner)
-                for offset in range(_PARTICLE_VEL, _PARTICLE_VEL + 24, 8):
-                    yield Write(region.record(partner, offset))
-                    yield Write(region.record(particle, offset))
-            self.cell_partner[cell] = particle
-            yield Write(cells.record(cell, _CELL_PARTNER))
+                buf = [OP_WRITE, vaddr, OP_WRITE, myvel,
+                       OP_WRITE, vaddr + 8, OP_WRITE, myvel + 8,
+                       OP_WRITE, vaddr + 16, OP_WRITE, myvel + 16]
+                yield from self._flush(buf)
+            cell_partner[cell] = particle
+            buf = [OP_WRITE, caddr + _CELL_PARTNER]
+        yield from self._flush(buf)
 
     def _bookkeeping(self) -> Generator:
         """Per-step global statistics update (lock-protected)."""

@@ -24,6 +24,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 
 from ..core.config import SystemConfig
 from ..trace.events import Compute, TaskDequeue, TaskEnqueue
+from ..trace.packed import PackedChunk
 from .base import TracedApplication
 from .spec import SpecApp, spec92_workload
 
@@ -59,6 +60,19 @@ class MultiprogrammingWorkload(TracedApplication):
         self.scale = scale
         self.seed = seed
         self._apps = apps
+
+    def __repr__(self) -> str:
+        return (f"MultiprogrammingWorkload("
+                f"instructions_per_app={self.instructions_per_app}, "
+                f"quantum_instructions={self.quantum_instructions}, "
+                f"scale={self.scale}, seed={self.seed})")
+
+    def trace_signature(self, config: SystemConfig):
+        if self._apps is not None:
+            # Caller-supplied application objects are not reconstructable
+            # from the repr; refuse to key the trace cache on them.
+            return None
+        return super().trace_signature(config)
 
     def build_apps(self) -> List[SpecApp]:
         """Fresh application instances for one run."""
@@ -100,7 +114,20 @@ class _SchedulerRun:
             yield Compute(_CONTEXT_SWITCH_CYCLES)
             quantum = min(workload.quantum_instructions,
                           self.remaining[app_id])
-            yield from app.burst(quantum)
+            if workload.packed:
+                # The whole quantum as one packed chunk.  Chunk-safe: the
+                # stream generator's state is private to the application
+                # and the run queue hands an application to exactly one
+                # processor at a time, so nothing observes that the RNG
+                # draws happen at the chunk boundary rather than
+                # event-by-event.  The scheduler loop itself (dequeue,
+                # branch on the response, requeue) stays on the
+                # event-object path because it is timing-dependent.
+                buf: List[int] = []
+                app.burst_packed(quantum, buf)
+                yield PackedChunk(buf)
+            else:
+                yield from app.burst(quantum)
             self.remaining[app_id] -= quantum
             if self.remaining[app_id] > 0:
                 yield TaskEnqueue(_RUN_QUEUE, app_id)

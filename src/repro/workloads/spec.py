@@ -32,6 +32,7 @@ from typing import Iterator, List, Tuple
 import numpy as np
 
 from ..trace.events import Compute, Ifetch, Read, TraceEvent, Write
+from ..trace.packed import OP_IFETCH, OP_READ, OP_WRITE
 
 __all__ = ["SpecProfile", "SpecApp", "SPEC92_PROFILES", "spec92_workload"]
 
@@ -245,6 +246,45 @@ class SpecApp:
                     yield Write(addr)
                 else:
                     yield Read(addr)
+
+    def burst_packed(self, n_instructions: int, buf: List[int]) -> None:
+        """Append the next ``n_instructions`` instructions to ``buf`` in
+        the packed encoding -- the allocation-free twin of :meth:`burst`.
+
+        Draw-for-draw identical to the generator: the RNG and every cursor
+        end up exactly where ``burst`` would leave them, so packed and
+        event-object runs replay the same stream.  Building the quantum
+        eagerly is chunk-safe (:mod:`repro.trace.packed`) because all of
+        this state is private to the process -- the run queue hands an
+        application to exactly one processor at a time.
+        """
+        profile = self.profile
+        stack_fraction = profile.stack_fraction
+        scan_cut = stack_fraction + profile.scan_fraction
+        write_fraction = profile.write_fraction
+        refs_per_instruction = profile.refs_per_instruction
+        draw = self._draw
+        append = buf.append
+        remaining = n_instructions
+        while remaining > 0:
+            block = min(_BASIC_BLOCK, remaining)
+            buf += (OP_IFETCH, self._next_code_addr(), block)
+            remaining -= block
+            self.instructions_executed += block
+            expected = refs_per_instruction * block
+            count = int(expected)
+            if draw() < expected - count:
+                count += 1
+            for _ in range(count):
+                locality = draw()
+                if locality < stack_fraction:
+                    addr = self._stack_addr()
+                elif locality < scan_cut:
+                    addr = self._scan_addr()
+                else:
+                    addr = self._hot_addr()
+                append(OP_WRITE if draw() < write_fraction else OP_READ)
+                append(addr)
 
 
 def spec92_workload(scale: int = 1, seed: int = 1234) -> List[SpecApp]:

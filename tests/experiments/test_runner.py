@@ -132,3 +132,62 @@ class TestParallelJobs:
         sweep = parallel_sweep("mp3d", tiny_profile, cache, jobs=1,
                                ladder=(2 * KB,), procs=(1,))
         assert sweep[(1, 2 * KB)].execution_time > 0
+
+
+class TestInstrumentFlag:
+    def test_instrument_false_skips_digest(self, tmp_path, tiny_profile):
+        cache = ResultCache(tmp_path)
+        config = SystemConfig.paper_parallel(1, 1 * KB)
+        bare = run_point("mp3d", tiny_profile, config, cache,
+                         instrument=False)
+        assert bare.instrument is None
+        # The digest-less payload must not shadow the instrumented one.
+        instrumented = run_point("mp3d", tiny_profile, config, cache)
+        assert instrumented.instrument is not None
+        # Physics identical either way (probes must not perturb stats).
+        assert instrumented == bare
+        assert instrumented.events == bare.events
+
+
+class TestTraceCachedSweep:
+    def test_deterministic_row_records_once_and_replays(self, tmp_path,
+                                                        tiny_profile):
+        """The single-processor multiprogramming row is recorded at one
+        ladder rung and replayed at the others -- with statistics equal
+        to simulating each point directly."""
+        from repro.experiments.runner import (_stats_key,
+                                              multiprogramming_sweep)
+        from repro.trace.record import TraceCache
+        ladder = (2 * KB, 8 * KB, 32 * KB)
+        trace_dir = tmp_path / "traces"
+        sweep = multiprogramming_sweep(
+            tiny_profile, ResultCache(tmp_path / "results"),
+            ladder=ladder, procs=(1,),
+            trace_cache=TraceCache(trace_dir))
+        assert set(sweep) == {(1, size) for size in ladder}
+        # One recording serves the whole row.
+        assert len(list(trace_dir.glob("*.trace"))) == 1
+        # Every point equals a direct, replay-free simulation.
+        icache = max(16 * KB // tiny_profile.ladder_scale, 512)
+        for (procs, paper_bytes), stats in sweep.items():
+            config = SystemConfig.paper_multiprogramming(
+                procs, paper_bytes // tiny_profile.ladder_scale
+            ).with_updates(icache_size=icache)
+            direct = run_point("multiprogramming", tiny_profile, config,
+                               cache=None)
+            assert direct == stats
+            assert direct.events == stats.events
+
+    def test_nondeterministic_rows_bypass_trace_cache(self, tmp_path,
+                                                      tiny_profile):
+        """Multi-processor rows race on the run queue, so they must
+        simulate normally and leave no recordings behind."""
+        from repro.experiments.runner import multiprogramming_sweep
+        from repro.trace.record import TraceCache
+        trace_dir = tmp_path / "traces"
+        sweep = multiprogramming_sweep(
+            tiny_profile, ResultCache(tmp_path / "results"),
+            ladder=(2 * KB, 8 * KB), procs=(2,),
+            trace_cache=TraceCache(trace_dir))
+        assert len(sweep) == 2
+        assert list(trace_dir.glob("*.trace")) == []

@@ -127,3 +127,19 @@ class TestSweepAndReportPaths:
         assert main(["report", "table3"]) == 0
         out = capsys.readouterr().out
         assert "paper" in out
+
+
+class TestBench:
+    def test_bench_point_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--repeat", "1", "--scenario", "point",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "packed" in out
+        assert "speedup" in out
+        import json
+        payload = json.loads(out_path.read_text())
+        point = payload["quick_barnes_hut"]
+        assert point["events"] > 0
+        assert point["packed_s"] > 0
+        assert point["generator_s"] > 0

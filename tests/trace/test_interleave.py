@@ -280,3 +280,34 @@ class TestTaskQueues:
         interleaver.add_process(1, consumer())
         interleaver.run()
         assert got == [42]
+
+
+class TestTaskQueueProtocol:
+    def test_enqueue_none_is_a_protocol_error(self):
+        """None is the empty-queue dequeue response; letting it into a
+        queue would make it indistinguishable from 'no work'."""
+        _, interleaver = make_interleaver()
+
+        def worker():
+            yield TaskEnqueue(0, None)
+
+        interleaver.add_process(0, worker())
+        interleaver.add_process(1, iter([Compute(1)]))
+        with pytest.raises(SyncProtocolError):
+            interleaver.run()
+
+    def test_polling_an_untouched_queue_allocates_nothing(self):
+        """A dequeue poll on a queue nothing ever enqueued to must not
+        materialize the queue (pollers used to leak one deque per id)."""
+        _, interleaver = make_interleaver()
+        responses = []
+
+        def poller():
+            responses.append((yield TaskDequeue(9)))
+            responses.append((yield TaskDequeue(10)))
+
+        interleaver.add_process(0, poller())
+        interleaver.add_process(1, iter([Compute(1)]))
+        interleaver.run()
+        assert responses == [None, None]
+        assert interleaver._queues == {}

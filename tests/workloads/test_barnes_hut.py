@@ -8,6 +8,7 @@ from repro.core.config import KB, SystemConfig
 from repro.simulation import run_simulation
 from repro.trace.events import (Barrier, Compute, LockAcquire, LockRelease,
                                 Read, Write)
+from repro.trace.packed import PackedChunk, decode_events
 from repro.workloads.barnes_hut import (BarnesHut, Body, Cell,
                                         _BarnesHutRun, _bounding_cube,
                                         _cost_chunks, _quiet_build,
@@ -121,6 +122,15 @@ class TestPhysics:
         assert moved > 16
 
 
+def iter_events(stream):
+    """Flatten a trace stream, expanding packed chunks into events."""
+    for item in stream:
+        if isinstance(item, PackedChunk):
+            yield from decode_events(item.data)
+        else:
+            yield item
+
+
 class TestTraceProperties:
     def test_single_processor_stream_is_well_formed(self):
         app = BarnesHut(n_bodies=32, steps=1)
@@ -128,7 +138,7 @@ class TestTraceProperties:
         run = _BarnesHutRun(app, config)
         held = set()
         events = 0
-        for event in run.process(0):
+        for event in iter_events(run.process(0)):
             events += 1
             if isinstance(event, LockAcquire):
                 assert event.lock_id not in held
@@ -149,7 +159,7 @@ class TestTraceProperties:
         run = _BarnesHutRun(app, config)
         lo = min(run.body_region.base, run.cell_region.base)
         hi = max(run.body_region.end, run.cell_region.end)
-        for event in run.process(0):
+        for event in iter_events(run.process(0)):
             if isinstance(event, (Read, Write)):
                 assert lo <= event.addr < hi
 

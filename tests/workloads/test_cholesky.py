@@ -87,13 +87,22 @@ def iterate_servicing_queues(generator):
             return
         response = None
         pending = False
-        if isinstance(event, TaskEnqueue):
-            queues.setdefault(event.queue_id, deque()).append(event.item)
-        elif isinstance(event, TaskDequeue):
-            queue = queues.setdefault(event.queue_id, deque())
-            response = queue.popleft() if queue else None
-            pending = True
-        yield event
+        from repro.trace.packed import PackedChunk, decode_events
+        sub_events = (decode_events(event.data)
+                      if isinstance(event, PackedChunk) else (event,))
+        for sub in sub_events:
+            if isinstance(sub, TaskEnqueue):
+                queues.setdefault(sub.queue_id, deque()).append(sub.item)
+            elif isinstance(sub, TaskDequeue):
+                queue = queues.setdefault(sub.queue_id, deque())
+                if isinstance(event, PackedChunk):
+                    # chunk semantics: pop-and-discard
+                    if queue:
+                        queue.popleft()
+                else:
+                    response = queue.popleft() if queue else None
+                    pending = True
+            yield sub
 
 
 class TestTraceProperties:

@@ -51,6 +51,16 @@ class TestGeometry:
         assert (run.pos <= 1.0 + 1e-9).all()
 
 
+def iter_events(stream):
+    """Flatten a trace stream, expanding packed chunks into events."""
+    from repro.trace.packed import PackedChunk, decode_events
+    for item in stream:
+        if isinstance(item, PackedChunk):
+            yield from decode_events(item.data)
+        else:
+            yield item
+
+
 class TestTraceProperties:
     def test_addresses_stay_inside_allocations(self):
         app = MP3D(n_particles=60, steps=1)
@@ -58,7 +68,7 @@ class TestTraceProperties:
         run = _MP3DRun(app, config)
         regions = (run.particle_region, run.cell_region,
                    run.globals_region, run.table_region)
-        for event in run.process(0):
+        for event in iter_events(run.process(0)):
             if isinstance(event, (Read, Write)):
                 assert any(r.contains(event.addr) for r in regions), \
                     hex(event.addr)
@@ -70,7 +80,7 @@ class TestTraceProperties:
         config = SystemConfig(clusters=1, processors_per_cluster=1)
         run = _MP3DRun(app, config)
         cell_writes = sum(
-            1 for event in run.process(0)
+            1 for event in iter_events(run.process(0))
             if isinstance(event, Write)
             and run.cell_region.contains(event.addr))
         assert cell_writes >= 60  # several per particle-step
