@@ -139,9 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="also write the measurements as JSON")
     bench.add_argument("--scenario", default="all",
-                       choices=("all", "point", "sweep"),
+                       choices=("all", "point", "sweep", "fused"),
                        help="point: one quick Barnes-Hut configuration; "
-                            "sweep: a Figure-5-style grid (default both)")
+                            "sweep: a Figure-5-style grid; fused: the "
+                            "one-pass multi-configuration ladder vs "
+                            "per-size replay (default: all)")
 
     commands.add_parser("list", help="list benchmarks and experiments")
     return parser
@@ -418,6 +420,58 @@ def _bench_sweep(repeat: int) -> dict:
     }
 
 
+def _bench_fused(repeat: int) -> dict:
+    """The quick multiprogramming ladder with a warm trace cache, two
+    ways: one replay per rung (``fused=False``) versus the one-pass
+    multi-configuration engine (:mod:`repro.trace.multiconfig`).  Both
+    start from the same recorded tape and produce bit-identical
+    RunStats (asserted here); only wall-clock differs.
+    """
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+    from .experiments.runner import (PAPER_LADDER, PROFILES, ResultCache,
+                                     multiprogramming_sweep)
+    from .trace.record import TraceCache
+    profile = PROFILES["quick"]
+    ladder = PAPER_LADDER
+    procs = (1,)
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    timings = {False: [], True: []}
+    try:
+        trace_cache = TraceCache(scratch / "traces")
+        # Record the row's tape once so both modes run trace-warm.
+        reference = multiprogramming_sweep(
+            profile, ResultCache(scratch / "warmup"), ladder=ladder,
+            procs=procs, instrument=False, trace_cache=trace_cache,
+            fused=False)
+        for index in range(max(1, repeat)):
+            for fused in (False, True):
+                begin = time.perf_counter()
+                sweep = multiprogramming_sweep(
+                    profile,
+                    ResultCache(scratch / f"results-{fused}-{index}"),
+                    ladder=ladder, procs=procs, instrument=False,
+                    trace_cache=trace_cache, fused=fused)
+                timings[fused].append(time.perf_counter() - begin)
+                if sweep != reference:
+                    raise AssertionError(
+                        "fused and per-size ladder results diverge")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    per_size_s = min(timings[False])
+    fused_s = min(timings[True])
+    return {
+        "grid": f"multiprogramming quick, ladder={sorted(ladder)}, "
+                f"procs={list(procs)}, warm trace cache",
+        "per_size_warm_s": round(per_size_s, 4),
+        "fused_warm_s": round(fused_s, 4),
+        "speedup": round(per_size_s / fused_s, 2),
+        "repeats": repeat,
+    }
+
+
 def _cmd_bench(args) -> int:
     import json
     import platform
@@ -446,6 +500,13 @@ def _cmd_bench(args) -> int:
               f"({sweep['speedup_cold']:.2f}x)")
         print(f"  fast (warm)     : {sweep['fast_warm_s']:.3f} s "
               f"({sweep['speedup_warm']:.2f}x)")
+    if args.scenario in ("all", "fused"):
+        print("timing fused multi-configuration ladder "
+              "(one pass vs per-size replay, warm trace cache)...")
+        report["fused_ladder"] = fused = _bench_fused(args.repeat)
+        print(f"  per-size (warm) : {fused['per_size_warm_s']:.3f} s")
+        print(f"  fused (warm)    : {fused['fused_warm_s']:.3f} s")
+        print(f"  speedup         : {fused['speedup']:.2f}x")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -19,8 +19,10 @@ scaled runs recorded in EXPERIMENTS.md.  Select with the
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -30,6 +32,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.config import KB, SystemConfig
 from ..instrument import InstrumentationProbe
 from ..simulation import run_simulation
+from ..trace.multiconfig import (fused_ladder_results,
+                                 fused_ladder_supported,
+                                 per_process_miss_surface)
 from ..trace.record import ReplayApplication, StreamRecorder, TraceCache
 from ..workloads.barnes_hut import BarnesHut
 from ..workloads.cholesky import Cholesky
@@ -38,8 +43,10 @@ from ..workloads.multiprog import MultiprogrammingWorkload
 
 __all__ = ["RunStats", "ExperimentProfile", "PROFILES", "active_profile",
            "ResultCache", "default_cache", "run_point", "parallel_sweep",
-           "multiprogramming_sweep", "PAPER_LADDER", "PROCS_SWEPT",
-           "CACHE_VERSION"]
+           "multiprogramming_sweep", "miss_surface_sweep", "PAPER_LADDER",
+           "PROCS_SWEPT", "CACHE_VERSION"]
+
+_LOG = logging.getLogger(__name__)
 
 CACHE_VERSION = 4
 """Bump to invalidate cached results after simulator changes.
@@ -163,11 +170,20 @@ def active_profile() -> ExperimentProfile:
 # ----------------------------------------------------------------------
 
 class ResultCache:
-    """Tiny JSON-file-per-result cache."""
+    """Tiny JSON-file-per-result cache.
+
+    Writes go through a per-process temporary file and an atomic rename,
+    so concurrent ``--jobs`` sweeps (or several sweep processes sharing a
+    cache directory) can race on the same key without ever exposing a
+    half-written file.  A corrupt or truncated entry (killed writer from
+    an older version, disk trouble) is logged once, deleted, and treated
+    as a miss so the next run rewrites it instead of missing forever.
+    """
 
     def __init__(self, directory: Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._warned_corrupt = False
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(
@@ -176,15 +192,39 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[RunStats]:
         path = self._path(key)
-        if not path.exists():
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
             return None
         try:
-            return RunStats.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, TypeError):
+            return RunStats.from_dict(json.loads(raw))
+        except (json.JSONDecodeError, TypeError) as exc:
+            self._discard_corrupt(path, exc)
             return None
 
     def put(self, key: str, stats: RunStats) -> None:
-        self._path(key).write_text(json.dumps(stats.as_dict()))
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(stats.as_dict()))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+    def _discard_corrupt(self, path: Path, exc: Exception) -> None:
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            _LOG.warning(
+                "discarding corrupt result-cache entry %s (%s); "
+                "it will be recomputed", path, exc)
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
 
 def default_cache() -> ResultCache:
@@ -211,13 +251,8 @@ def _stats_key(benchmark: str, profile: ExperimentProfile,
     return key
 
 
-def _simulate(application, config: SystemConfig,
-              instrument: bool) -> RunStats:
-    """One simulation of any workload object, reduced to RunStats."""
-    probe = (InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
-                                  record_events=False)
-             if instrument else None)
-    result = run_simulation(config, application, instrumentation=probe)
+def _stats_from_result(result, probe=None) -> RunStats:
+    """Reduce a :class:`~repro.simulation.SimulationResult` to RunStats."""
     total = result.stats.total_scc
     return RunStats(
         execution_time=result.stats.execution_time,
@@ -229,6 +264,16 @@ def _simulate(application, config: SystemConfig,
         events=result.events_processed,
         instrument=probe.summary() if probe is not None else None,
     )
+
+
+def _simulate(application, config: SystemConfig,
+              instrument: bool) -> RunStats:
+    """One simulation of any workload object, reduced to RunStats."""
+    probe = (InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
+                                  record_events=False)
+             if instrument else None)
+    result = run_simulation(config, application, instrumentation=probe)
+    return _stats_from_result(result, probe)
 
 
 def _compute_point(benchmark: str, profile: ExperimentProfile,
@@ -245,6 +290,62 @@ def _compute_point(benchmark: str, profile: ExperimentProfile,
     benchmark harness measures.
     """
     return _simulate(profile.workload(benchmark), config, instrument)
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool (``--jobs N``)
+# ----------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+_WORKER_WORKLOADS: Dict[Tuple[str, ExperimentProfile], object] = {}
+"""Worker-process-side cache of constructed workload objects.
+
+Every workload builds its run state (bodies, particles, RNG) freshly per
+``processes()`` call, so the application object itself is reusable across
+simulations; constructing it once per worker instead of once per point
+removes the per-point workload setup from parallel sweeps.
+"""
+
+
+def _compute_point_pooled(benchmark: str, profile: ExperimentProfile,
+                          config: SystemConfig,
+                          instrument: bool = True) -> RunStats:
+    """`_compute_point` with a warm per-worker workload object."""
+    key = (benchmark, profile)
+    workload = _WORKER_WORKLOADS.get(key)
+    if workload is None:
+        workload = profile.workload(benchmark)
+        _WORKER_WORKLOADS[key] = workload
+    return _simulate(workload, config, instrument)
+
+
+def _worker_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process-wide sweep pool, rebuilt only when ``jobs`` changes.
+
+    Keeping the pool (and the workload objects its workers cache) alive
+    across `_run_grid` calls means a multi-benchmark session pays worker
+    startup and workload construction once, not once per sweep.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+
+
+atexit.register(_shutdown_pool)
 
 
 def run_point(benchmark: str, profile: ExperimentProfile,
@@ -274,7 +375,8 @@ def _run_grid(benchmark: str, profile: ExperimentProfile,
               cache: Optional[ResultCache],
               jobs: Optional[int],
               instrument: bool = True,
-              trace_cache: Optional[TraceCache] = None) -> Sweep:
+              trace_cache: Optional[TraceCache] = None,
+              fused: bool = True) -> Sweep:
     """Resolve a grid of configurations through the cache, simulating
     the missing points serially or on ``jobs`` worker processes.
 
@@ -286,7 +388,10 @@ def _run_grid(benchmark: str, profile: ExperimentProfile,
     Rows whose workload passes the stream-determinism guard resolve
     through the trace cache first: the row's stream is recorded once
     (or loaded from disk) and replayed at every other rung of the
-    ladder, skipping the workload's Python entirely.
+    ladder, skipping the workload's Python entirely -- and, when the
+    row qualifies (``fused``, uninstrumented, single-process, see
+    :func:`~repro.trace.multiconfig.fused_ladder_supported`), all rungs
+    of the ladder are simulated in *one* pass over the tape.
     """
     sweep: Sweep = {}
     missing: List[GridPoint] = []
@@ -301,18 +406,18 @@ def _run_grid(benchmark: str, profile: ExperimentProfile,
     if missing:
         missing = _resolve_via_traces(benchmark, profile, configs,
                                       missing, sweep, cache, instrument,
-                                      trace_cache)
+                                      trace_cache, fused)
     if not missing:
         return sweep
     if jobs is not None and jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = pool.map(
-                _compute_point,
-                [benchmark] * len(missing),
-                [profile] * len(missing),
-                [configs[point] for point in missing],
-                [instrument] * len(missing))
-            computed = dict(zip(missing, results))
+        pool = _worker_pool(jobs)
+        results = pool.map(
+            _compute_point_pooled,
+            [benchmark] * len(missing),
+            [profile] * len(missing),
+            [configs[point] for point in missing],
+            [instrument] * len(missing))
+        computed = dict(zip(missing, results))
     else:
         computed = {point: _compute_point(benchmark, profile,
                                           configs[point], instrument)
@@ -331,7 +436,8 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
                         missing: List[GridPoint], sweep: Sweep,
                         cache: Optional[ResultCache],
                         instrument: bool,
-                        trace_cache: Optional[TraceCache]) -> List[GridPoint]:
+                        trace_cache: Optional[TraceCache],
+                        fused: bool = True) -> List[GridPoint]:
     """Record-once/replay-everywhere for the grid rows that allow it.
 
     A row is all missing points with the same processor count (the
@@ -340,6 +446,14 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
     .stream_is_deterministic` holds there, and the recording is keyed by
     :meth:`~repro.workloads.base.TracedApplication.trace_signature`.
     Rows that fail either guard are returned for normal simulation.
+
+    When a row's remaining rungs form a fused-replayable ladder
+    (uninstrumented single-process row whose configurations differ only
+    in SCC size -- :func:`~repro.trace.multiconfig.fused_ladder_supported`),
+    the whole row is resolved by *one* pass of the multi-configuration
+    engine instead of one replay per rung; the results are bit-identical
+    by construction (pinned by ``tests/equivalence``).  Multi-process
+    rows never qualify and keep the per-rung replay automatically.
     """
     by_row: Dict[int, List[GridPoint]] = {}
     for point in missing:
@@ -369,6 +483,15 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
         if streams is None:
             remainder.extend(row_points)
             continue
+        if (fused and not instrument and len(row_points) > 1
+                and set(streams) == {0}):
+            row_configs = [configs[point] for point in row_points]
+            if fused_ladder_supported(row_configs):
+                for point, result in zip(
+                        row_points,
+                        fused_ladder_results(row_configs, streams)):
+                    resolved[point] = _stats_from_result(result)
+                continue
         for point in row_points:
             replay = ReplayApplication(streams, name=benchmark)
             resolved[point] = _simulate(replay, configs[point], instrument)
@@ -388,14 +511,17 @@ def parallel_sweep(benchmark: str,
                    procs: Tuple[int, ...] = PROCS_SWEPT,
                    jobs: Optional[int] = None,
                    instrument: bool = True,
-                   trace_cache: Optional[TraceCache] = None) -> Sweep:
+                   trace_cache: Optional[TraceCache] = None,
+                   fused: bool = True) -> Sweep:
     """The Section 3.1 grid for one parallel benchmark.
 
     Keys use *paper* SCC bytes; the simulated size is the paper size
     divided by the profile's ladder scale.  ``jobs`` > 1 simulates
     uncached points concurrently on that many worker processes.
     ``instrument=False`` skips the observability digest and keeps the
-    simulations on the packed fast path.
+    simulations on the packed fast path.  ``fused=False`` disables the
+    one-pass multi-configuration ladder engine (single-process rows
+    only; see :mod:`repro.trace.multiconfig`) for A/B comparison.
     """
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
@@ -407,7 +533,7 @@ def parallel_sweep(benchmark: str,
         for procs_per_cluster in procs
     }
     return _run_grid(benchmark, profile, configs, cache, jobs,
-                     instrument, trace_cache)
+                     instrument, trace_cache, fused)
 
 
 def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
@@ -416,7 +542,8 @@ def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
                            procs: Tuple[int, ...] = PROCS_SWEPT,
                            jobs: Optional[int] = None,
                            instrument: bool = True,
-                           trace_cache: Optional[TraceCache] = None) -> Sweep:
+                           trace_cache: Optional[TraceCache] = None,
+                           fused: bool = True) -> Sweep:
     """The Section 3.2 grid (single cluster, icache modelled & scaled)."""
     profile = profile or active_profile()
     cache = cache if cache is not None else default_cache()
@@ -431,4 +558,53 @@ def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
         for procs_per_cluster in procs
     }
     return _run_grid("multiprogramming", profile, configs, cache, jobs,
-                     instrument, trace_cache)
+                     instrument, trace_cache, fused)
+
+
+def miss_surface_sweep(benchmark: str,
+                       profile: Optional[ExperimentProfile] = None,
+                       procs_per_cluster: int = 4,
+                       ladder: Optional[Tuple[int, ...]] = None,
+                       trace_cache: Optional[TraceCache] = None):
+    """Approximate per-process miss surface of one parallel-grid row.
+
+    The fused timing engine cannot cover parallel workloads (interleave
+    order depends on the configuration), but the content-only
+    multi-configuration analysis still can: one simulation of the row's
+    smallest rung records the per-process tapes, and one pass per tape
+    scores every SCC size at once
+    (:func:`~repro.trace.multiconfig.per_process_miss_surface`).
+    Returns ``{process: {paper_bytes: MissSurfacePoint}}`` -- miss
+    *counts* under fixed interleaving, not RunStats; use it to find
+    working-set knees before spending full simulations on them.
+    """
+    profile = profile or active_profile()
+    ladder = ladder or PAPER_LADDER
+    sizes = tuple(paper_bytes // profile.ladder_scale
+                  for paper_bytes in ladder)
+    config = SystemConfig.paper_parallel(procs_per_cluster, sizes[0])
+    workload = profile.workload(benchmark)
+    # Only a configuration-independent tape may live in the shared trace
+    # cache (its key does not cover scc_size); otherwise record ad hoc.
+    signature = (workload.trace_signature(config)
+                 if workload.stream_is_deterministic(config) else None)
+    streams = None
+    tcache = trace_cache
+    if signature is not None and tcache is not None:
+        streams = tcache.get(signature)
+    if streams is None:
+        recorder = StreamRecorder(workload)
+        run_simulation(config, recorder)
+        streams = recorder.streams
+        if streams is None:
+            raise ValueError(
+                f"{benchmark!r} did not produce a recordable packed "
+                f"stream on {procs_per_cluster} processors per cluster")
+        if signature is not None and tcache is not None:
+            tcache.put(signature, streams)
+    surface = per_process_miss_surface(config, sizes, streams)
+    by_paper = {}
+    for proc, row in surface.items():
+        by_paper[proc] = {paper_bytes: row[size]
+                          for paper_bytes, size in zip(ladder, sizes)}
+    return by_paper

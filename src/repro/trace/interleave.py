@@ -55,7 +55,8 @@ from .packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE, OP_ENQUEUE,
                      OP_IFETCH, OP_LOCK_ACQ, OP_LOCK_REL, OP_READ,
                      OP_READ_SPAN, OP_WRITE, OP_WRITE_SPAN, PackedChunk)
 
-__all__ = ["TimingInterleaver", "DeadlockError", "SyncProtocolError"]
+__all__ = ["TimingInterleaver", "DeadlockError", "SyncProtocolError",
+           "fused_replay_ok"]
 
 ProcessGenerator = Generator[TraceEvent, Any, None]
 
@@ -69,6 +70,37 @@ class DeadlockError(RuntimeError):
 class SyncProtocolError(RuntimeError):
     """A process misused a lock, barrier, or task queue (e.g. released a
     lock it does not hold, or enqueued ``None``)."""
+
+
+def fused_replay_ok(config) -> bool:
+    """Whether one recorded tape on ``config`` can drive the fused
+    multi-configuration engine (:mod:`repro.trace.multiconfig`).
+
+    Stricter than the interleaver's own ``_fast_ok``: the fused engine
+    inlines the single-process scheduling loop, so it needs exactly one
+    processor (interleave order is then configuration-independent and the
+    size-ladder inclusion argument holds), the plain shared-SCC snoopy
+    machine, direct-mapped power-of-two geometry, write buffering enabled
+    (``stall_on_writes`` changes the write path shape), and
+    ``bank_cycle_time == 1`` (a single processor then provably never
+    conflicts on a bank, so the engine can skip bank arbitration).
+    """
+    lines = config.scc_lines
+    if not (config.total_processors == 1
+            and config.cluster_organization == "shared-scc"
+            and config.inter_cluster == "snoopy-bus"
+            and config.associativity == 1
+            and config.bank_cycle_time == 1
+            and not config.stall_on_writes
+            and lines > 1 and lines & (lines - 1) == 0):
+        return False
+    if config.model_icache:
+        line = config.icache_line_size
+        ic_lines = config.icache_size // line
+        if (line < 1 or line & (line - 1)
+                or ic_lines < 2 or ic_lines & (ic_lines - 1)):
+            return False
+    return True
 
 
 class _Process:

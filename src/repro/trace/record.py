@@ -33,11 +33,14 @@ see the ``OP_DEQUEUE`` note in :mod:`repro.trace.packed`).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import struct
 from array import array
 from pathlib import Path
 from typing import Dict, Generator, Optional
+
+_LOG = logging.getLogger(__name__)
 
 from .packed import (PackedChunk, PackedEncodingError, append_event,
                      packed_from_bytes, packed_to_bytes)
@@ -138,8 +141,13 @@ class TraceCache:
     The file layout is a fixed header (magic, format version, JSON length)
     followed by a JSON descriptor (the signature it was stored under plus
     each process's stream length in ints) and the streams' raw 64-bit
-    data back to back.  Writes go through a temp file and ``os.replace``
-    so concurrent sweep processes never observe a torn recording.
+    data back to back.  Writes go through a per-process temp file and
+    ``os.replace`` so concurrent sweep processes never observe a torn
+    recording even when racing on the same key.  A corrupt or truncated
+    file (the format version lives in the path digest, so whatever is at
+    the path *should* parse) is logged once, deleted, and reported as a
+    miss, so the next recording run heals the cache; a signature mismatch
+    inside a well-formed file is a digest collision and is left alone.
     """
 
     def __init__(self, directory: Optional[Path] = None):
@@ -149,6 +157,7 @@ class TraceCache:
                 os.path.join(".repro_cache", "traces")))
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._warned_corrupt = False
 
     def _path(self, signature: str) -> Path:
         import hashlib
@@ -166,21 +175,48 @@ class TraceCache:
         try:
             magic, version, header_len = _HEADER_STRUCT.unpack_from(raw)
             if magic != _MAGIC or version != TRACE_FORMAT_VERSION:
+                # The format version is part of the path digest, so a
+                # mismatched header here is damage, not an old file.
+                self._discard_corrupt(path, "bad magic or version")
                 return None
             offset = _HEADER_STRUCT.size
             header = json.loads(raw[offset:offset + header_len])
             if header.get("signature") != signature:
                 return None          # digest collision: treat as a miss
             offset += header_len
+            lengths = [(int(proc), int(length))
+                       for proc, length in header["streams"]]
+            # A truncated payload can still be a whole number of int64s,
+            # which ``packed_from_bytes`` would accept -- validate the
+            # exact total length before slicing.
+            expected = offset + sum(length * 8 for _, length in lengths)
+            if len(raw) != expected:
+                self._discard_corrupt(
+                    path, f"payload is {len(raw)} bytes, "
+                          f"descriptor promises {expected}")
+                return None
             streams: Dict[int, array] = {}
-            for proc, length in header["streams"]:
+            for proc, length in lengths:
                 nbytes = length * 8
-                streams[int(proc)] = packed_from_bytes(
+                streams[proc] = packed_from_bytes(
                     raw[offset:offset + nbytes])
                 offset += nbytes
             return streams
-        except (struct.error, ValueError, KeyError, json.JSONDecodeError):
-            return None              # corrupt file: recompute, overwrite
+        except (struct.error, ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as exc:
+            self._discard_corrupt(path, exc)
+            return None
+
+    def _discard_corrupt(self, path: Path, why) -> None:
+        """Delete a damaged recording so the next run rewrites it."""
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            _LOG.warning("discarding corrupt trace-cache file %s (%s); "
+                         "the stream will be re-recorded", path, why)
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, signature: str, streams: Dict[int, array]) -> None:
         order = sorted(streams)
@@ -190,13 +226,20 @@ class TraceCache:
         }).encode()
         path = self._path(signature)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with open(tmp, "wb") as fh:
-            fh.write(_HEADER_STRUCT.pack(_MAGIC, TRACE_FORMAT_VERSION,
-                                         len(header)))
-            fh.write(header)
-            for proc in order:
-                fh.write(packed_to_bytes(streams[proc]))
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_HEADER_STRUCT.pack(_MAGIC, TRACE_FORMAT_VERSION,
+                                             len(header)))
+                fh.write(header)
+                for proc in order:
+                    fh.write(packed_to_bytes(streams[proc]))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 def default_trace_cache() -> TraceCache:

@@ -1,0 +1,153 @@
+"""Golden-grade equivalence for the fused multi-configuration ladder.
+
+Two layers of pinning:
+
+* engine level -- the fused pass must reproduce the per-size replay's
+  golden-style fingerprint on every configuration variant the gate
+  admits (the same fingerprint the ``golden_stats.json`` suite uses);
+* runner level -- a sweep resolved through the fused path must return
+  RunStats equal to the same sweep with ``fused=False``, and rows the
+  engine cannot cover (multi-process, instrumented) must route to the
+  per-size replay automatically.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments import runner
+from repro.experiments.runner import (ExperimentProfile, ResultCache,
+                                      multiprogramming_sweep)
+from repro.simulation import run_simulation
+from repro.trace.multiconfig import (fused_ladder_results,
+                                     fused_ladder_supported)
+from repro.trace.record import ReplayApplication, StreamRecorder, TraceCache
+from repro.workloads.multiprog import MultiprogrammingWorkload
+
+from .test_golden_stats import fingerprint
+
+SIZES = (512, 1024, 2048, 4096, 8192)
+
+# The golden VARIANTS the fused gate admits (associativity, private
+# organization, directory protocol, and stall-on-writes fall back).
+FUSED_VARIANTS = {
+    "base": {},
+    "mesi": dict(protocol="mesi"),
+    "line32": dict(line_size=32),
+}
+
+TINY = ExperimentProfile(
+    name="tiny", ladder_scale=8,
+    barnes_bodies=32, barnes_steps=1,
+    mp3d_particles=60, mp3d_steps=1,
+    cholesky_n=64,
+    multiprog_instructions=3000, multiprog_quantum=1200)
+
+
+def golden_workload():
+    """The exact multiprogramming sizing the golden suite pins."""
+    return MultiprogrammingWorkload(
+        instructions_per_app=4000, quantum_instructions=1500, scale=8)
+
+
+def golden_ladder(**extra):
+    return [SystemConfig(clusters=1, processors_per_cluster=1,
+                         scc_size=size, model_icache=True, **extra)
+            for size in SIZES]
+
+
+@pytest.mark.parametrize("variant", sorted(FUSED_VARIANTS))
+def test_fused_fingerprints_match_per_size_replay(variant):
+    configs = golden_ladder(**FUSED_VARIANTS[variant])
+    assert fused_ladder_supported(configs)
+    recorder = StreamRecorder(golden_workload())
+    run_simulation(configs[0], recorder)
+    streams = recorder.streams
+    assert streams is not None
+    for config, fused in zip(configs, fused_ladder_results(configs,
+                                                           streams)):
+        per_size = run_simulation(config,
+                                  ReplayApplication(streams, name="mp"))
+        assert fingerprint(fused) == fingerprint(per_size)
+
+
+def test_sweep_results_identical_with_and_without_fusion(tmp_path):
+    trace_cache = TraceCache(tmp_path / "traces")
+    sweeps = {}
+    for fused in (False, True):
+        sweeps[fused] = multiprogramming_sweep(
+            TINY, ResultCache(tmp_path / f"results-{fused}"),
+            ladder=(32768, 65536, 131072, 262144), procs=(1,),
+            instrument=False, trace_cache=trace_cache, fused=fused)
+    assert sweeps[True] == sweeps[False]
+    assert len(sweeps[True]) == 4
+
+
+def test_uniprocessor_row_uses_fused_engine(tmp_path, monkeypatch):
+    calls = []
+    real = runner.fused_ladder_results
+
+    def spy(configs, streams, *args, **kwargs):
+        calls.append(len(configs))
+        return real(configs, streams, *args, **kwargs)
+
+    monkeypatch.setattr(runner, "fused_ladder_results", spy)
+    multiprogramming_sweep(
+        TINY, ResultCache(tmp_path / "results"),
+        ladder=(32768, 65536, 131072), procs=(1,),
+        instrument=False, trace_cache=TraceCache(tmp_path / "traces"))
+    # One fused pass covering the rungs left after the recording run.
+    assert calls == [2]
+
+
+def test_multiprocess_row_routes_to_per_size_replay(tmp_path, monkeypatch):
+    """A deterministic-stream parallel row replays through the trace
+    cache but must never enter the fused engine (interleave order and
+    coherence are processor-count-dependent)."""
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("fused engine used on a parallel row")
+
+    monkeypatch.setattr(runner, "fused_ladder_results", forbidden)
+
+    class DeterministicMultiprog(MultiprogrammingWorkload):
+        deterministic_stream = True
+
+    profile = TINY
+    monkeypatch.setattr(
+        ExperimentProfile, "multiprogramming",
+        lambda self: DeterministicMultiprog(
+            instructions_per_app=profile.multiprog_instructions,
+            quantum_instructions=profile.multiprog_quantum,
+            scale=profile.ladder_scale))
+    replays = []
+    real_replay = runner.ReplayApplication
+
+    class SpyReplay(real_replay):
+        def __init__(self, streams, name="replay"):
+            replays.append(name)
+            super().__init__(streams, name=name)
+
+    monkeypatch.setattr(runner, "ReplayApplication", SpyReplay)
+    sweep = multiprogramming_sweep(
+        profile, ResultCache(tmp_path / "results"),
+        ladder=(32768, 65536, 131072), procs=(2,),
+        instrument=False, trace_cache=TraceCache(tmp_path / "traces"))
+    assert len(sweep) == 3
+    # Two rungs after the recording run, each via per-size replay.
+    assert len(replays) == 2
+
+
+def test_instrumented_row_routes_to_per_size_replay(tmp_path, monkeypatch):
+    """Instrumented sweeps need the probe attached, which the fused
+    engine cannot provide -- they must keep the per-size path."""
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("fused engine used on an instrumented row")
+
+    monkeypatch.setattr(runner, "fused_ladder_results", forbidden)
+    sweep = multiprogramming_sweep(
+        TINY, ResultCache(tmp_path / "results"),
+        ladder=(32768, 65536), procs=(1,),
+        instrument=True, trace_cache=TraceCache(tmp_path / "traces"))
+    assert len(sweep) == 2
+    assert all(stats.instrument is not None for stats in sweep.values())
