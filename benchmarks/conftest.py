@@ -18,8 +18,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import (ResultCache, active_profile, default_cache,
-                               multiprogramming_sweep, parallel_sweep)
+from repro.experiments import (ResultCache, SweepSpec, active_profile,
+                               default_cache, run_sweep)
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -62,24 +62,32 @@ def save_figure():
     return _save
 
 
+def grid_sweep(benchmark_name: str, profile, cache):
+    """One paper grid, resolved through the SweepSpec API."""
+    spec = (SweepSpec.multiprogramming(profile=profile)
+            if benchmark_name == "multiprogramming"
+            else SweepSpec.parallel(benchmark_name, profile=profile))
+    return run_sweep(spec, cache=cache)
+
+
 @pytest.fixture(scope="session")
 def barnes_sweep(profile, cache):
-    return parallel_sweep("barnes-hut", profile, cache)
+    return grid_sweep("barnes-hut", profile, cache)
 
 
 @pytest.fixture(scope="session")
 def mp3d_sweep(profile, cache):
-    return parallel_sweep("mp3d", profile, cache)
+    return grid_sweep("mp3d", profile, cache)
 
 
 @pytest.fixture(scope="session")
 def cholesky_sweep(profile, cache):
-    return parallel_sweep("cholesky", profile, cache)
+    return grid_sweep("cholesky", profile, cache)
 
 
 @pytest.fixture(scope="session")
 def multiprog_sweep(profile, cache):
-    return multiprogramming_sweep(profile, cache)
+    return grid_sweep("multiprogramming", profile, cache)
 
 
 def run_once(benchmark, func):

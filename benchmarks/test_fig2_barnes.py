@@ -6,15 +6,14 @@ SCC size; and medium-to-large SCCs gain the most from sharing.
 """
 
 from repro.core.config import KB
-from repro.experiments import (normalized_execution_times, parallel_sweep,
-                               render_figure)
+from repro.experiments import normalized_execution_times, render_figure
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_figure2_barnes_hut(benchmark, profile, cache, barnes_sweep,
                             save_report, save_figure):
-    sweep = run_once(benchmark, lambda: parallel_sweep(
+    sweep = run_once(benchmark, lambda: grid_sweep(
         "barnes-hut", profile, cache))
     save_report("figure2_barnes_hut", render_figure("barnes-hut", sweep))
 

@@ -9,14 +9,13 @@ cluster-mates coalesce their updates in the shared SCC.
 
 from repro.core.config import KB
 from repro.experiments import (PAPER_MP3D_SPEEDUPS, invalidation_series,
-                               parallel_sweep, render_figure,
-                               self_relative_speedup)
+                               render_figure, self_relative_speedup)
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_figure3_mp3d(benchmark, profile, cache, mp3d_sweep, save_report, save_figure):
-    sweep = run_once(benchmark, lambda: parallel_sweep(
+    sweep = run_once(benchmark, lambda: grid_sweep(
         "mp3d", profile, cache))
     report = render_figure("mp3d", sweep)
     small = self_relative_speedup(sweep, 4 * KB)

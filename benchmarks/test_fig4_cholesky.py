@@ -9,15 +9,15 @@ miss rate falls roughly 25% from one to eight processors per cluster.
 
 from repro.core.config import KB
 from repro.experiments import (PAPER_CHOLESKY_SPEEDUPS, invalidation_series,
-                               parallel_sweep, read_miss_rate_table,
-                               render_figure, self_relative_speedup)
+                               read_miss_rate_table, render_figure,
+                               self_relative_speedup)
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_figure4_cholesky(benchmark, profile, cache, cholesky_sweep,
                           save_report, save_figure):
-    sweep = run_once(benchmark, lambda: parallel_sweep(
+    sweep = run_once(benchmark, lambda: grid_sweep(
         "cholesky", profile, cache))
     report = render_figure("cholesky", sweep)
     small = self_relative_speedup(sweep, 4 * KB)

@@ -7,17 +7,16 @@ against a smaller factor for one processor).
 """
 
 from repro.core.config import KB
-from repro.experiments import (figure5_curves, multiprogramming_sweep,
-                               render_figure5,
+from repro.experiments import (figure5_curves, render_figure5,
                                smallest_to_largest_improvement)
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_figure5_multiprogramming(benchmark, profile, cache,
                                   multiprog_sweep, save_report, save_figure):
-    sweep = run_once(benchmark, lambda: multiprogramming_sweep(
-        profile, cache))
+    sweep = run_once(benchmark, lambda: grid_sweep(
+        "multiprogramming", profile, cache))
     improvement8 = smallest_to_largest_improvement(sweep, procs=8)
     improvement1 = smallest_to_largest_improvement(sweep, procs=1)
     report = render_figure5(sweep)

@@ -7,16 +7,16 @@ increasing the SCC size reduces the degradation.
 
 from repro.core.config import KB
 from repro.experiments import (degradation_factor, figure6_speedups,
-                               multiprogramming_sweep, render_figure6)
+                               render_figure6)
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_figure6_multiprogramming_speedups(benchmark, profile, cache,
                                            multiprog_sweep, save_report,
                                            save_figure):
-    sweep = run_once(benchmark, lambda: multiprogramming_sweep(
-        profile, cache))
+    sweep = run_once(benchmark, lambda: grid_sweep(
+        "multiprogramming", profile, cache))
     report = render_figure6(sweep)
     deg_small = degradation_factor(sweep, 8 * KB)
     deg_large = degradation_factor(sweep, 512 * KB)

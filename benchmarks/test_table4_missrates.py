@@ -8,15 +8,14 @@ do not grow with processors per cluster.
 
 from repro.core.config import KB
 from repro.experiments import (PAPER_TABLE4, invalidation_series,
-                               parallel_sweep, read_miss_rate_table,
-                               render_miss_rates)
+                               read_miss_rate_table, render_miss_rates)
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_table4_read_miss_rates(benchmark, profile, cache, barnes_sweep,
                                 save_report):
-    sweep = run_once(benchmark, lambda: parallel_sweep(
+    sweep = run_once(benchmark, lambda: grid_sweep(
         "barnes-hut", profile, cache))
     save_report("table4_barnes_missrates",
                 render_miss_rates("barnes-hut", sweep, PAPER_TABLE4))

@@ -8,20 +8,18 @@ block.
 
 from repro.core.config import KB
 from repro.cost.costperf import mcm_table
-from repro.experiments import (multiprogramming_sweep, parallel_sweep,
-                               render_table7, surfaces_from_sweeps)
+from repro.experiments import render_table7, surfaces_from_sweeps
 
-from conftest import run_once
+from conftest import grid_sweep, run_once
 
 
 def test_table7_mcm(benchmark, profile, cache, barnes_sweep, mp3d_sweep,
                     cholesky_sweep, multiprog_sweep, save_report):
     def build():
         return {
-            "barnes-hut": parallel_sweep("barnes-hut", profile, cache),
-            "mp3d": parallel_sweep("mp3d", profile, cache),
-            "cholesky": parallel_sweep("cholesky", profile, cache),
-            "multiprogramming": multiprogramming_sweep(profile, cache),
+            name: grid_sweep(name, profile, cache)
+            for name in ("barnes-hut", "mp3d", "cholesky",
+                         "multiprogramming")
         }
 
     sweeps = run_once(benchmark, build)

@@ -35,11 +35,12 @@ import sys
 from typing import List, Optional
 
 from .core.config import KB, SystemConfig
+from .experiments.spec import KNOWN_BENCHMARKS
 from .simulation import run_simulation
 
 __all__ = ["main"]
 
-BENCHMARKS = ("barnes-hut", "mp3d", "cholesky", "multiprogramming")
+BENCHMARKS = KNOWN_BENCHMARKS
 
 SIMULATION_REPORTS = ("figure2", "table3", "table4", "figure3", "figure4",
                       "figure5", "figure6", "table6", "table7")
@@ -66,6 +67,22 @@ def parse_size(text: str) -> int:
             f"cannot parse size {text!r}; accepted forms: plain bytes "
             f"(4096), B (512B), KB (8KB), MB (1MB) -- any letter case"
         ) from None
+
+
+def _parse_int_list(text: str):
+    """Parse ``1,2,4`` into a tuple of ints."""
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse {text!r}; expected comma-separated integers "
+            f"like 1,2,4") from None
+
+
+def _parse_size_list(text: str):
+    """Parse ``4KB,8KB,64KB`` into a tuple of byte counts."""
+    return tuple(parse_size(part) for part in text.split(",")
+                 if part.strip())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -116,7 +133,8 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(deterministically decimated beyond this)")
 
     sweep = commands.add_parser(
-        "sweep", help="run the paper's grid for one benchmark")
+        "sweep", help="run the paper's grid for one benchmark "
+                      "(checkpointed; resumable after a crash)")
     sweep.add_argument("benchmark", choices=BENCHMARKS)
     sweep.add_argument("--profile", default=None,
                        choices=("quick", "paper"),
@@ -124,6 +142,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="simulate uncached grid points on N worker "
                             "processes (default: serial)")
+    sweep.add_argument("--procs", type=_parse_int_list, default=None,
+                       metavar="LIST",
+                       help="processors per cluster, comma-separated "
+                            "(default: 1,2,4,8)")
+    sweep.add_argument("--ladder", type=_parse_size_list, default=None,
+                       metavar="LIST",
+                       help="paper SCC sizes, comma-separated, e.g. "
+                            "4KB,8KB,16KB (default: the full ladder)")
+    sweep.add_argument("--no-instrument", action="store_true",
+                       help="skip the per-point observability digest "
+                            "(keeps simulations on the packed fast path)")
+    sweep.add_argument("--no-fused", action="store_true",
+                       help="disable the one-pass multi-configuration "
+                            "ladder engine")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume this sweep from its session journal, "
+                            "recomputing only points not yet completed")
+    sweep.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retries per failing point before it is "
+                            "quarantined (default 2)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry any point taking longer than "
+                            "this (default: unlimited)")
+    sweep.add_argument("--backoff", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="base sleep before a retry, scaled by the "
+                            "attempt number (default 0.5)")
 
     report = commands.add_parser(
         "report", help="regenerate one table/figure of the paper")
@@ -188,22 +234,62 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _sweep_progress(point, status, done, total, counters) -> None:
+    """Per-point progress line (journal-backed sessions make every
+    point's completion durable, so print it as it lands)."""
+    from .experiments import format_size
+    procs, paper_bytes = point
+    print(f"  [{done}/{total}] procs={procs} "
+          f"scc={format_size(paper_bytes)} {status}", flush=True)
+
+
 def _cmd_sweep(args) -> int:
-    from .experiments import (multiprogramming_sweep, parallel_sweep,
+    from .experiments import (SweepSession, SweepSpec,
+                              default_session_dir, format_size,
                               render_figure, render_figure5,
                               render_figure6, render_speedups)
-    profile = _profile(args.profile)
-    if args.benchmark == "multiprogramming":
-        sweep = multiprogramming_sweep(profile, jobs=args.jobs)
+    spec = SweepSpec.from_cli_args(args)
+    session = SweepSession(spec, session_dir=default_session_dir(),
+                           resume=args.resume,
+                           progress=_sweep_progress)
+    result = session.run()
+    print(result.summary(), flush=True)
+    if result.quarantined:
+        print()
+        print(f"QUARANTINED {len(result.quarantined)} point(s):")
+        for (procs, paper_bytes), reason in sorted(
+                result.quarantined.items()):
+            print(f"  procs={procs} scc={format_size(paper_bytes)}: "
+                  f"{reason}")
+        print("the rest of the grid is journaled; fix the cause and "
+              "rerun with --resume")
+        return 1
+    sweep = result.sweep
+    print()
+    if (8, 512 * KB) not in sweep:
+        # A narrowed --procs/--ladder grid lacks the paper figures'
+        # normalization base; print the raw per-point table instead.
+        print(_render_sweep_points(args.benchmark, sweep))
+    elif args.benchmark == "multiprogramming":
         print(render_figure5(sweep))
         print()
         print(render_figure6(sweep))
     else:
-        sweep = parallel_sweep(args.benchmark, profile, jobs=args.jobs)
         print(render_figure(args.benchmark, sweep))
         print()
         print(render_speedups(args.benchmark, sweep))
     return 0
+
+
+def _render_sweep_points(benchmark: str, sweep) -> str:
+    from .experiments import format_size, render_table
+    rows = [[procs, format_size(paper_bytes),
+             f"{stats.execution_time:,}",
+             f"{100 * stats.read_miss_rate:.2f} %"]
+            for (procs, paper_bytes), stats in sorted(sweep.items())]
+    return render_table(
+        f"{benchmark}: sweep points",
+        ["procs/cl", "SCC size", "exec cycles", "read miss"], rows)
 
 
 _SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
@@ -288,15 +374,18 @@ def _cmd_report(args) -> int:
         print(exp.render_section4_costs())
         return 0
     if args.experiment in ("figure5", "figure6"):
-        sweep = exp.multiprogramming_sweep(profile)
+        sweep = exp.run_sweep(
+            exp.SweepSpec.multiprogramming(profile=profile))
         renderer = (exp.render_figure5 if args.experiment == "figure5"
                     else exp.render_figure6)
         print(renderer(sweep))
         return 0
     if args.experiment in ("table6", "table7"):
-        sweeps = {name: exp.parallel_sweep(name, profile)
+        sweeps = {name: exp.run_sweep(
+                      exp.SweepSpec.parallel(name, profile=profile))
                   for name in ("barnes-hut", "mp3d", "cholesky")}
-        sweeps["multiprogramming"] = exp.multiprogramming_sweep(profile)
+        sweeps["multiprogramming"] = exp.run_sweep(
+            exp.SweepSpec.multiprogramming(profile=profile))
         renderer = (exp.render_table6 if args.experiment == "table6"
                     else exp.render_table7)
         print(renderer(sweeps))
@@ -304,7 +393,8 @@ def _cmd_report(args) -> int:
     benchmark = {"figure2": "barnes-hut", "table3": "barnes-hut",
                  "table4": "barnes-hut", "figure3": "mp3d",
                  "figure4": "cholesky"}[args.experiment]
-    sweep = exp.parallel_sweep(benchmark, profile)
+    sweep = exp.run_sweep(exp.SweepSpec.parallel(benchmark,
+                                                 profile=profile))
     if args.experiment == "table3":
         print(exp.render_speedups(benchmark, sweep, exp.PAPER_TABLE3))
     elif args.experiment == "table4":
@@ -363,8 +453,9 @@ def _bench_sweep(repeat: int) -> dict:
     import time
     from pathlib import Path
     from .experiments.runner import (PAPER_LADDER, PROFILES,
-                                     InstrumentationProbe, ResultCache,
-                                     multiprogramming_sweep)
+                                     InstrumentationProbe, ResultCache)
+    from .experiments.session import run_sweep
+    from .experiments.spec import SweepSpec
     from .trace.record import TraceCache
     profile = PROFILES["quick"]
     ladder = PAPER_LADDER
@@ -394,14 +485,14 @@ def _bench_sweep(repeat: int) -> dict:
     fast_times = []
     try:
         trace_cache = TraceCache(scratch / "traces")
+        spec = SweepSpec.multiprogramming(profile=profile, ladder=ladder,
+                                          procs=procs, instrument=False)
         for index in range(max(2, repeat + 1)):
             # Fresh result cache each round so every point simulates or
             # replays; the trace cache stays warm after round one.
             begin = time.perf_counter()
-            multiprogramming_sweep(
-                profile, ResultCache(scratch / f"results{index}"),
-                ladder=ladder, procs=procs,
-                instrument=False, trace_cache=trace_cache)
+            run_sweep(spec, cache=ResultCache(scratch / f"results{index}"),
+                      trace_cache=trace_cache)
             fast_times.append(time.perf_counter() - begin)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
@@ -431,8 +522,9 @@ def _bench_fused(repeat: int) -> dict:
     import tempfile
     import time
     from pathlib import Path
-    from .experiments.runner import (PAPER_LADDER, PROFILES, ResultCache,
-                                     multiprogramming_sweep)
+    from .experiments.runner import PAPER_LADDER, PROFILES, ResultCache
+    from .experiments.session import run_sweep
+    from .experiments.spec import SweepSpec
     from .trace.record import TraceCache
     profile = PROFILES["quick"]
     ladder = PAPER_LADDER
@@ -441,19 +533,21 @@ def _bench_fused(repeat: int) -> dict:
     timings = {False: [], True: []}
     try:
         trace_cache = TraceCache(scratch / "traces")
+        specs = {fused: SweepSpec.multiprogramming(
+                     profile=profile, ladder=ladder, procs=procs,
+                     instrument=False, fused=fused)
+                 for fused in (False, True)}
         # Record the row's tape once so both modes run trace-warm.
-        reference = multiprogramming_sweep(
-            profile, ResultCache(scratch / "warmup"), ladder=ladder,
-            procs=procs, instrument=False, trace_cache=trace_cache,
-            fused=False)
+        reference = run_sweep(specs[False],
+                              cache=ResultCache(scratch / "warmup"),
+                              trace_cache=trace_cache)
         for index in range(max(1, repeat)):
             for fused in (False, True):
                 begin = time.perf_counter()
-                sweep = multiprogramming_sweep(
-                    profile,
-                    ResultCache(scratch / f"results-{fused}-{index}"),
-                    ladder=ladder, procs=procs, instrument=False,
-                    trace_cache=trace_cache, fused=fused)
+                sweep = run_sweep(
+                    specs[fused],
+                    cache=ResultCache(scratch / f"results-{fused}-{index}"),
+                    trace_cache=trace_cache)
                 timings[fused].append(time.perf_counter() - begin)
                 if sweep != reference:
                     raise AssertionError(

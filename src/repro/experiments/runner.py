@@ -15,6 +15,13 @@ Two profiles control workload sizes: ``quick`` for smoke-testing the
 pipelines, ``paper`` (the default for benchmarks) for the properly
 scaled runs recorded in EXPERIMENTS.md.  Select with the
 ``REPRO_PROFILE`` environment variable.
+
+Sweeps are *described* by a :class:`~repro.experiments.spec.SweepSpec`
+and *driven* by :func:`~repro.experiments.session.run_sweep` (which
+adds journaled resume, retries, and quarantine on top of the machinery
+here).  The historical entry points -- :func:`parallel_sweep`,
+:func:`multiprogramming_sweep`, :func:`miss_surface_sweep` -- remain as
+thin deprecated shims over that API.
 """
 
 from __future__ import annotations
@@ -24,22 +31,23 @@ import hashlib
 import json
 import logging
 import os
+import signal
+import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import KB, SystemConfig
 from ..instrument import InstrumentationProbe
 from ..simulation import run_simulation
 from ..trace.multiconfig import (fused_ladder_results,
-                                 fused_ladder_supported,
-                                 per_process_miss_surface)
+                                 fused_ladder_supported)
 from ..trace.record import ReplayApplication, StreamRecorder, TraceCache
-from ..workloads.barnes_hut import BarnesHut
-from ..workloads.cholesky import Cholesky
-from ..workloads.mp3d import MP3D
-from ..workloads.multiprog import MultiprogrammingWorkload
+from .spec import (CACHE_VERSION, PAPER_LADDER, PROCS_SWEPT, PROFILES,
+                   ExperimentProfile, GridPoint, SweepSpec,
+                   active_profile, point_cache_key)
 
 __all__ = ["RunStats", "ExperimentProfile", "PROFILES", "active_profile",
            "ResultCache", "default_cache", "run_point", "parallel_sweep",
@@ -48,19 +56,9 @@ __all__ = ["RunStats", "ExperimentProfile", "PROFILES", "active_profile",
 
 _LOG = logging.getLogger(__name__)
 
-CACHE_VERSION = 4
-"""Bump to invalidate cached results after simulator changes.
-(v4: cached payloads gained the ``instrument`` observability summary.)"""
-
 INSTRUMENT_BIN_WIDTH = 4096
 """Timeline resolution for the summary-only instrumentation every sweep
 point runs with (coarse: sweeps want digests, not traces)."""
-
-PAPER_LADDER: Tuple[int, ...] = tuple(
-    kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
-"""The paper's SCC sweep, in paper bytes."""
-
-PROCS_SWEPT: Tuple[int, ...] = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -87,82 +85,6 @@ class RunStats:
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "RunStats":
         return cls(**data)
-
-
-@dataclass(frozen=True)
-class ExperimentProfile:
-    """Workload sizing for one reproduction quality level."""
-
-    name: str
-    ladder_scale: int
-    barnes_bodies: int
-    barnes_steps: int
-    mp3d_particles: int
-    mp3d_steps: int
-    cholesky_n: int
-    multiprog_instructions: int
-    multiprog_quantum: int
-
-    def scaled_ladder(self) -> Tuple[int, ...]:
-        """Simulated SCC sizes standing in for the paper ladder."""
-        return tuple(size // self.ladder_scale for size in PAPER_LADDER)
-
-    # -- workload factories (fresh application object per call) ---------
-
-    def barnes_hut(self) -> BarnesHut:
-        return BarnesHut(n_bodies=self.barnes_bodies,
-                         steps=self.barnes_steps)
-
-    def mp3d(self) -> MP3D:
-        return MP3D(n_particles=self.mp3d_particles, steps=self.mp3d_steps)
-
-    def cholesky(self) -> Cholesky:
-        return Cholesky(n=self.cholesky_n)
-
-    def multiprogramming(self) -> MultiprogrammingWorkload:
-        return MultiprogrammingWorkload(
-            instructions_per_app=self.multiprog_instructions,
-            quantum_instructions=self.multiprog_quantum,
-            scale=self.ladder_scale)
-
-    def workload(self, benchmark: str):
-        """Factory dispatch by benchmark name."""
-        factories: Dict[str, Callable] = {
-            "barnes-hut": self.barnes_hut,
-            "mp3d": self.mp3d,
-            "cholesky": self.cholesky,
-            "multiprogramming": self.multiprogramming,
-        }
-        try:
-            return factories[benchmark]()
-        except KeyError:
-            raise ValueError(f"unknown benchmark {benchmark!r}") from None
-
-
-PROFILES: Dict[str, ExperimentProfile] = {
-    "quick": ExperimentProfile(
-        name="quick", ladder_scale=8,
-        barnes_bodies=192, barnes_steps=2,
-        mp3d_particles=600, mp3d_steps=3,
-        cholesky_n=288,
-        multiprog_instructions=60_000, multiprog_quantum=20_000),
-    "paper": ExperimentProfile(
-        name="paper", ladder_scale=8,
-        barnes_bodies=512, barnes_steps=2,
-        mp3d_particles=900, mp3d_steps=5,
-        cholesky_n=416,
-        multiprog_instructions=150_000, multiprog_quantum=50_000),
-}
-
-
-def active_profile() -> ExperimentProfile:
-    """Profile selected by ``REPRO_PROFILE`` (default: ``paper``)."""
-    name = os.environ.get("REPRO_PROFILE", "paper")
-    try:
-        return PROFILES[name]
-    except KeyError:
-        raise ValueError(f"REPRO_PROFILE={name!r}; "
-                         f"known profiles: {sorted(PROFILES)}") from None
 
 
 # ----------------------------------------------------------------------
@@ -234,21 +156,14 @@ def default_cache() -> ResultCache:
 
 
 # ----------------------------------------------------------------------
-# Sweeps
+# Point simulation
 # ----------------------------------------------------------------------
 
 def _stats_key(benchmark: str, profile: ExperimentProfile,
                config: SystemConfig, instrument: bool = True) -> str:
-    key = (f"{benchmark}|{profile}|clusters={config.clusters}"
-           f"|procs={config.processors_per_cluster}"
-           f"|scc={config.scc_size}|icache={config.icache_size}"
-           f"|model_icache={config.model_icache}")
-    if not instrument:
-        # Digest-less payloads get their own entries so a benchmark run
-        # never shadows the default instrumented payload (and the default
-        # key format is unchanged from earlier cache generations).
-        key += "|instrument=False"
-    return key
+    """Back-compat alias for
+    :func:`repro.experiments.spec.point_cache_key`."""
+    return point_cache_key(benchmark, profile, config, instrument)
 
 
 def _stats_from_result(result, probe=None) -> RunStats:
@@ -321,31 +236,110 @@ def _compute_point_pooled(benchmark: str, profile: ExperimentProfile,
     return _simulate(workload, config, instrument)
 
 
+def _pool_worker_init() -> None:
+    """Reset each worker's signal dispositions to sane defaults.
+
+    Workers fork after the parent has installed its signal-chaining
+    handlers -- and possibly while executor locks are held -- so an
+    inherited handler could deadlock the worker inside its own copy of
+    ``pool.shutdown()`` instead of letting it die.  Workers must die on
+    SIGTERM/SIGHUP (that is how ``_shutdown_pool(kill=True)`` stops
+    them) and ignore SIGINT (a terminal Ctrl-C reaches the whole
+    foreground group; teardown is the parent's call).
+    """
+    for signum in _TERMINATION_SIGNALS:
+        try:
+            signal.signal(signum, signal.SIG_IGN
+                          if signum == getattr(signal, "SIGINT", None)
+                          else signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _worker_pool(jobs: int) -> ProcessPoolExecutor:
     """The process-wide sweep pool, rebuilt only when ``jobs`` changes.
 
     Keeping the pool (and the workload objects its workers cache) alive
-    across `_run_grid` calls means a multi-benchmark session pays worker
-    startup and workload construction once, not once per sweep.
+    across sweep calls means a multi-benchmark session pays worker
+    startup and workload construction once, not once per sweep.  The
+    first pool also installs the exit hooks that keep a dying parent
+    from orphaning its workers.
     """
     global _POOL, _POOL_JOBS
     if _POOL is not None and _POOL_JOBS != jobs:
         _POOL.shutdown(wait=True)
         _POOL = None
     if _POOL is None:
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _install_exit_hooks()
+        _POOL = ProcessPoolExecutor(max_workers=jobs,
+                                    initializer=_pool_worker_init)
         _POOL_JOBS = jobs
     return _POOL
 
 
-def _shutdown_pool() -> None:
+def _shutdown_pool(kill: bool = False) -> None:
+    """Drop the pool; ``kill=True`` SIGKILLs the worker processes first
+    (the only way to stop a worker stuck inside a simulation -- a
+    catchable signal could be absorbed by whatever state the worker
+    inherited or got itself into)."""
     global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False)
-        _POOL = None
+    pool, _POOL = _POOL, None
+    if pool is None:
+        return
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+    pool.shutdown(wait=False)
 
 
-atexit.register(_shutdown_pool)
+_TERMINATION_SIGNALS = tuple(
+    getattr(signal, name) for name in ("SIGINT", "SIGTERM", "SIGHUP")
+    if hasattr(signal, name))
+
+_EXIT_HOOKS_INSTALLED = False
+
+
+def _handle_termination(signum, frame, previous) -> None:
+    """Kill the pool's workers, then let the signal take its course.
+
+    ``atexit`` never runs when the process dies from a signal, so
+    without this a Ctrl-C'd or ``kill``-ed ``--jobs`` sweep leaves its
+    worker processes orphaned mid-simulation.
+    """
+    _shutdown_pool(kill=True)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_exit_hooks() -> None:
+    """Register atexit + signal-chaining shutdown, once, main thread
+    only (``signal.signal`` is unavailable elsewhere)."""
+    global _EXIT_HOOKS_INSTALLED
+    if _EXIT_HOOKS_INSTALLED:
+        return
+    _EXIT_HOOKS_INSTALLED = True
+    atexit.register(_shutdown_pool)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    for signum in _TERMINATION_SIGNALS:
+        try:
+            previous = signal.getsignal(signum)
+            if previous is signal.SIG_IGN:
+                continue
+
+            def handler(received, frame, _previous=previous):
+                _handle_termination(received, frame, _previous)
+
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # non-main thread or exotic signum
+            pass
 
 
 def run_point(benchmark: str, profile: ExperimentProfile,
@@ -366,69 +360,6 @@ def run_point(benchmark: str, profile: ExperimentProfile,
 
 Sweep = Dict[Tuple[int, int], RunStats]
 """(processors per cluster, paper SCC bytes) -> stats."""
-
-GridPoint = Tuple[int, int]
-
-
-def _run_grid(benchmark: str, profile: ExperimentProfile,
-              configs: Dict[GridPoint, SystemConfig],
-              cache: Optional[ResultCache],
-              jobs: Optional[int],
-              instrument: bool = True,
-              trace_cache: Optional[TraceCache] = None,
-              fused: bool = True) -> Sweep:
-    """Resolve a grid of configurations through the cache, simulating
-    the missing points serially or on ``jobs`` worker processes.
-
-    The cache key is per point and identical either way, so serial and
-    parallel runs share entries; workers never touch the cache (the
-    parent writes results back), which keeps the scheme safe on any
-    filesystem.
-
-    Rows whose workload passes the stream-determinism guard resolve
-    through the trace cache first: the row's stream is recorded once
-    (or loaded from disk) and replayed at every other rung of the
-    ladder, skipping the workload's Python entirely -- and, when the
-    row qualifies (``fused``, uninstrumented, single-process, see
-    :func:`~repro.trace.multiconfig.fused_ladder_supported`), all rungs
-    of the ladder are simulated in *one* pass over the tape.
-    """
-    sweep: Sweep = {}
-    missing: List[GridPoint] = []
-    for point, config in configs.items():
-        cached = (cache.get(_stats_key(benchmark, profile, config,
-                                       instrument))
-                  if cache is not None else None)
-        if cached is not None:
-            sweep[point] = cached
-        else:
-            missing.append(point)
-    if missing:
-        missing = _resolve_via_traces(benchmark, profile, configs,
-                                      missing, sweep, cache, instrument,
-                                      trace_cache, fused)
-    if not missing:
-        return sweep
-    if jobs is not None and jobs > 1:
-        pool = _worker_pool(jobs)
-        results = pool.map(
-            _compute_point_pooled,
-            [benchmark] * len(missing),
-            [profile] * len(missing),
-            [configs[point] for point in missing],
-            [instrument] * len(missing))
-        computed = dict(zip(missing, results))
-    else:
-        computed = {point: _compute_point(benchmark, profile,
-                                          configs[point], instrument)
-                    for point in missing}
-    for point, stats in computed.items():
-        if cache is not None:
-            cache.put(_stats_key(benchmark, profile, configs[point],
-                                 instrument),
-                      stats)
-        sweep[point] = stats
-    return sweep
 
 
 def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
@@ -504,6 +435,17 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
     return remainder
 
 
+# ----------------------------------------------------------------------
+# Legacy sweep entry points (shims over run_sweep)
+# ----------------------------------------------------------------------
+
+def _deprecated_shim(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; build a "
+        f"repro.experiments.SweepSpec and call run_sweep(spec) instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def parallel_sweep(benchmark: str,
                    profile: Optional[ExperimentProfile] = None,
                    cache: Optional[ResultCache] = None,
@@ -513,27 +455,22 @@ def parallel_sweep(benchmark: str,
                    instrument: bool = True,
                    trace_cache: Optional[TraceCache] = None,
                    fused: bool = True) -> Sweep:
-    """The Section 3.1 grid for one parallel benchmark.
+    """Deprecated: the Section 3.1 grid for one parallel benchmark.
 
-    Keys use *paper* SCC bytes; the simulated size is the paper size
-    divided by the profile's ladder scale.  ``jobs`` > 1 simulates
-    uncached points concurrently on that many worker processes.
-    ``instrument=False`` skips the observability digest and keeps the
-    simulations on the packed fast path.  ``fused=False`` disables the
-    one-pass multi-configuration ladder engine (single-process rows
-    only; see :mod:`repro.trace.multiconfig`) for A/B comparison.
+    Equivalent to ``run_sweep(SweepSpec.parallel(...))`` with the old
+    fail-fast semantics (``max_attempts=1``, no journal); results are
+    bit-identical to the new path (pinned by
+    ``tests/experiments/test_session.py``).
     """
-    profile = profile or active_profile()
-    cache = cache if cache is not None else default_cache()
-    ladder = ladder or PAPER_LADDER
-    configs = {
-        (procs_per_cluster, paper_bytes): SystemConfig.paper_parallel(
-            procs_per_cluster, paper_bytes // profile.ladder_scale)
-        for paper_bytes in ladder
-        for procs_per_cluster in procs
-    }
-    return _run_grid(benchmark, profile, configs, cache, jobs,
-                     instrument, trace_cache, fused)
+    _deprecated_shim("parallel_sweep")
+    from .session import run_sweep
+    spec = SweepSpec.parallel(benchmark, profile=profile,
+                              ladder=ladder, procs=procs, jobs=jobs,
+                              instrument=instrument, fused=fused,
+                              max_attempts=1)
+    return run_sweep(spec, cache=cache if cache is not None
+                     else default_cache(),
+                     trace_cache=trace_cache)
 
 
 def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
@@ -544,21 +481,17 @@ def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
                            instrument: bool = True,
                            trace_cache: Optional[TraceCache] = None,
                            fused: bool = True) -> Sweep:
-    """The Section 3.2 grid (single cluster, icache modelled & scaled)."""
-    profile = profile or active_profile()
-    cache = cache if cache is not None else default_cache()
-    ladder = ladder or PAPER_LADDER
-    icache = max(16 * KB // profile.ladder_scale, 512)
-    configs = {
-        (procs_per_cluster, paper_bytes): SystemConfig.paper_multiprogramming(
-            procs_per_cluster,
-            paper_bytes // profile.ladder_scale).with_updates(
-                icache_size=icache)
-        for paper_bytes in ladder
-        for procs_per_cluster in procs
-    }
-    return _run_grid("multiprogramming", profile, configs, cache, jobs,
-                     instrument, trace_cache, fused)
+    """Deprecated: the Section 3.2 grid (single cluster, icache
+    modelled and scaled).  See :func:`parallel_sweep`."""
+    _deprecated_shim("multiprogramming_sweep")
+    from .session import run_sweep
+    spec = SweepSpec.multiprogramming(profile=profile, ladder=ladder,
+                                      procs=procs, jobs=jobs,
+                                      instrument=instrument, fused=fused,
+                                      max_attempts=1)
+    return run_sweep(spec, cache=cache if cache is not None
+                     else default_cache(),
+                     trace_cache=trace_cache)
 
 
 def miss_surface_sweep(benchmark: str,
@@ -566,45 +499,17 @@ def miss_surface_sweep(benchmark: str,
                        procs_per_cluster: int = 4,
                        ladder: Optional[Tuple[int, ...]] = None,
                        trace_cache: Optional[TraceCache] = None):
-    """Approximate per-process miss surface of one parallel-grid row.
+    """Deprecated: approximate per-process miss surface of one
+    parallel-grid row; equivalent to
+    ``run_sweep(SweepSpec.miss_surface(...))``.
 
-    The fused timing engine cannot cover parallel workloads (interleave
-    order depends on the configuration), but the content-only
-    multi-configuration analysis still can: one simulation of the row's
-    smallest rung records the per-process tapes, and one pass per tape
-    scores every SCC size at once
-    (:func:`~repro.trace.multiconfig.per_process_miss_surface`).
     Returns ``{process: {paper_bytes: MissSurfacePoint}}`` -- miss
     *counts* under fixed interleaving, not RunStats; use it to find
     working-set knees before spending full simulations on them.
     """
-    profile = profile or active_profile()
-    ladder = ladder or PAPER_LADDER
-    sizes = tuple(paper_bytes // profile.ladder_scale
-                  for paper_bytes in ladder)
-    config = SystemConfig.paper_parallel(procs_per_cluster, sizes[0])
-    workload = profile.workload(benchmark)
-    # Only a configuration-independent tape may live in the shared trace
-    # cache (its key does not cover scc_size); otherwise record ad hoc.
-    signature = (workload.trace_signature(config)
-                 if workload.stream_is_deterministic(config) else None)
-    streams = None
-    tcache = trace_cache
-    if signature is not None and tcache is not None:
-        streams = tcache.get(signature)
-    if streams is None:
-        recorder = StreamRecorder(workload)
-        run_simulation(config, recorder)
-        streams = recorder.streams
-        if streams is None:
-            raise ValueError(
-                f"{benchmark!r} did not produce a recordable packed "
-                f"stream on {procs_per_cluster} processors per cluster")
-        if signature is not None and tcache is not None:
-            tcache.put(signature, streams)
-    surface = per_process_miss_surface(config, sizes, streams)
-    by_paper = {}
-    for proc, row in surface.items():
-        by_paper[proc] = {paper_bytes: row[size]
-                          for paper_bytes, size in zip(ladder, sizes)}
-    return by_paper
+    _deprecated_shim("miss_surface_sweep")
+    from .session import run_sweep
+    spec = SweepSpec.miss_surface(benchmark, profile=profile,
+                                  procs_per_cluster=procs_per_cluster,
+                                  ladder=ladder)
+    return run_sweep(spec, trace_cache=trace_cache)

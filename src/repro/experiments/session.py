@@ -1,0 +1,598 @@
+"""Checkpointed, fault-tolerant sweep orchestration.
+
+:func:`run_sweep` is the one entry point every sweep goes through: it
+takes a declarative :class:`~repro.experiments.spec.SweepSpec` and
+resolves the grid through (in order) the session journal, the result
+cache, the trace/fused replay engines, and finally real simulation --
+serially or on the persistent worker pool.
+
+:class:`SweepSession` is the stateful half.  It persists a *journal*
+(one JSON file per spec signature, written atomically like the result
+and trace caches) recording each point's status and result, so a sweep
+that crashes or is killed resumes from the last completed point instead
+of restarting from zero.  Per-point execution is supervised: a point
+that raises is retried with backoff up to ``spec.max_attempts`` times,
+a point that exceeds ``spec.point_timeout`` has its worker killed and
+is retried the same way, and a point that exhausts its attempts is
+*quarantined* -- reported in the result instead of sinking the rest of
+the grid.  Progress (done/cached/replayed/retried/quarantined counts)
+is accounted in a :class:`~repro.instrument.registry.MetricsRegistry`
+so CLIs and dashboards read live state through the same observability
+surface as everything else.
+
+Fault injection for tests and drills: set ``REPRO_FAULT_INJECT`` to
+``"<procs>:<paper_bytes>:<mode>"`` (mode ``raise`` or ``hang``) and the
+matching grid point misbehaves accordingly in whichever process
+computes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core.config import SystemConfig
+from ..instrument.registry import MetricsRegistry
+from ..trace.record import TraceCache
+from .runner import (ResultCache, RunStats, Sweep, _compute_point_pooled,
+                     _resolve_via_traces, _shutdown_pool, _worker_pool,
+                     default_cache)
+from .spec import GridPoint, SweepSpec
+
+__all__ = ["SweepSession", "SessionResult", "SessionJournal",
+           "run_sweep", "QuarantinedPointError", "default_session_dir",
+           "FAULT_INJECT_ENV"]
+
+_LOG = logging.getLogger(__name__)
+
+JOURNAL_VERSION = 1
+
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+_DEFAULT_CACHE = object()
+"""Sentinel: 'use :func:`~repro.experiments.runner.default_cache`'
+(pass ``cache=None`` explicitly to disable result caching)."""
+
+
+def default_session_dir() -> Path:
+    """Journal directory (override with ``REPRO_SESSION_DIR``)."""
+    return Path(os.environ.get(
+        "REPRO_SESSION_DIR", os.path.join(".repro_cache", "sessions")))
+
+
+class QuarantinedPointError(RuntimeError):
+    """Raised by :func:`run_sweep` after the grid has been resolved as
+    far as possible but one or more points were quarantined."""
+
+    def __init__(self, quarantined: Dict[GridPoint, str]):
+        self.quarantined = dict(quarantined)
+        detail = "; ".join(
+            f"procs={procs} scc={paper_bytes}B: {reason}"
+            for (procs, paper_bytes), reason in sorted(quarantined.items()))
+        super().__init__(
+            f"{len(quarantined)} sweep point(s) quarantined: {detail}")
+
+
+def _stats_digest(stats: RunStats) -> str:
+    """Content digest journaled next to each result (cheap tamper/skew
+    check when healing the result cache on resume)."""
+    payload = json.dumps(stats.as_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _point_label(point: GridPoint) -> str:
+    return f"{point[0]}/{point[1]}"
+
+
+def _maybe_inject_fault(point: GridPoint) -> None:
+    """Honour ``REPRO_FAULT_INJECT`` for the matching grid point."""
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return
+    try:
+        procs_text, bytes_text, mode = spec.split(":")
+        target = (int(procs_text), int(bytes_text))
+    except ValueError:
+        raise ValueError(
+            f"{FAULT_INJECT_ENV}={spec!r}; expected "
+            f"'<procs>:<paper_bytes>:<raise|hang>'") from None
+    if point != target:
+        return
+    if mode == "raise":
+        raise RuntimeError(
+            f"injected fault at point procs={point[0]} scc={point[1]}B")
+    if mode == "hang":
+        time.sleep(3600)
+        return
+    raise ValueError(f"{FAULT_INJECT_ENV} mode must be 'raise' or "
+                     f"'hang', not {mode!r}")
+
+
+def _point_task(benchmark, profile, config, instrument,
+                point: GridPoint) -> RunStats:
+    """One supervised point simulation (module-level so the worker pool
+    can pickle it; fault injection reads the inherited environment)."""
+    _maybe_inject_fault(point)
+    return _compute_point_pooled(benchmark, profile, config, instrument)
+
+
+class SessionJournal:
+    """Crash-safe per-sweep record of point outcomes.
+
+    One JSON file per spec signature.  Every update rewrites the file
+    through a per-PID temporary and ``os.replace`` -- the same atomic
+    discipline as :class:`~repro.experiments.runner.ResultCache` -- so
+    a SIGKILL at any instant leaves either the previous or the next
+    consistent journal, never a torn one.  Each ``done`` entry carries
+    the full :class:`RunStats` payload, making resume independent of
+    the result cache surviving the crash.
+    """
+
+    def __init__(self, spec: SweepSpec,
+                 directory: Optional[Path] = None):
+        self.spec = spec
+        self.directory = Path(directory) if directory is not None else None
+        self.points: Dict[str, dict] = {}
+
+    @property
+    def path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{self.spec.signature()}.json"
+
+    def load(self) -> bool:
+        """Adopt the on-disk state; ``True`` if a usable journal for
+        this spec existed (corrupt or mismatched files start fresh)."""
+        path = self.path
+        if path is None:
+            return False
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, OSError):
+            return False
+        except (json.JSONDecodeError, ValueError) as exc:
+            _LOG.warning("discarding corrupt sweep journal %s (%s)",
+                         path, exc)
+            self._unlink()
+            return False
+        if (payload.get("version") != JOURNAL_VERSION
+                or payload.get("signature") != self.spec.signature()
+                or not isinstance(payload.get("points"), dict)):
+            _LOG.warning("sweep journal %s does not match this spec; "
+                         "starting fresh", path)
+            return False
+        self.points = payload["points"]
+        return True
+
+    def reset(self) -> None:
+        self.points = {}
+        self._unlink()
+
+    def record(self, point: GridPoint, status: str, *,
+               stats: Optional[RunStats] = None,
+               attempts: int = 1, reason: Optional[str] = None) -> None:
+        entry: Dict[str, object] = {"status": status,
+                                    "attempts": attempts}
+        if stats is not None:
+            entry["stats"] = stats.as_dict()
+            entry["digest"] = _stats_digest(stats)
+        if reason is not None:
+            entry["reason"] = reason
+        self.points[_point_label(point)] = entry
+        self._flush()
+
+    def entry(self, point: GridPoint) -> Optional[dict]:
+        return self.points.get(_point_label(point))
+
+    def _flush(self) -> None:
+        path = self.path
+        if path is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": JOURNAL_VERSION,
+            "signature": self.spec.signature(),
+            "spec": self.spec.describe(),
+            "points": self.points,
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+    def _unlink(self) -> None:
+        path = self.path
+        if path is None:
+            return
+        try:
+            path.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+@dataclass
+class SessionResult:
+    """Everything a :class:`SweepSession` run produced."""
+
+    spec: SweepSpec
+    sweep: Sweep
+    quarantined: Dict[GridPoint, str] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined
+
+    def summary(self) -> str:
+        """One-line progress digest (the CLI's closing line)."""
+        get = self.counters.get
+        return (f"points: {int(get('total', 0))} total -- "
+                f"{int(get('computed', 0))} computed, "
+                f"{int(get('replayed', 0))} replayed, "
+                f"{int(get('cached', 0))} cached, "
+                f"{int(get('journaled', 0))} journaled, "
+                f"{int(get('retried', 0))} retries, "
+                f"{int(get('quarantined', 0))} quarantined")
+
+
+class SweepSession:
+    """Drive one :class:`SweepSpec` to completion, fault-tolerantly.
+
+    Resolution order per point: journal (on resume) -> result cache ->
+    trace/fused replay -> supervised simulation.  Every completion is
+    journaled immediately, so killing the process at any moment loses
+    at most the points currently in flight.
+    """
+
+    def __init__(self, spec: SweepSpec,
+                 cache=_DEFAULT_CACHE,
+                 trace_cache: Optional[TraceCache] = None,
+                 session_dir: Optional[Path] = None,
+                 resume: bool = False,
+                 progress: Optional[Callable] = None,
+                 compute: Optional[Callable] = None):
+        if spec.kind == "miss-surface":
+            raise ValueError("miss-surface sweeps have no point grid; "
+                             "use run_sweep(spec)")
+        self.spec = spec
+        self.cache: Optional[ResultCache] = (
+            default_cache() if cache is _DEFAULT_CACHE else cache)
+        self.trace_cache = trace_cache
+        self.journal = SessionJournal(spec, session_dir)
+        self.resume = resume
+        self.progress = progress
+        self.registry = MetricsRegistry()
+        self._compute = compute or _point_task
+        self._configs = spec.configs()
+        self._total = len(self._configs)
+        self._done = 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self.registry.count(f"session.points.{name}", amount)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return self.registry.counter_group("session.points")
+
+    def _settle(self, point: GridPoint, status: str,
+                stats: Optional[RunStats], attempts: int = 1,
+                reason: Optional[str] = None) -> None:
+        """Journal one point outcome and surface it as progress."""
+        self._done += 1
+        self._count(status)
+        if status == "quarantined":
+            self.journal.record(point, "quarantined", attempts=attempts,
+                                reason=reason)
+        else:
+            # Journal every success as "done"; `status` keeps the finer
+            # how-it-was-resolved split for counters and progress.
+            self.journal.record(point, "done", stats=stats,
+                                attempts=attempts)
+        if self.progress is not None:
+            self.progress(point, status, self._done, self._total,
+                          self.counters)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        spec = self.spec
+        self._count("total", self._total)
+        sweep: Sweep = {}
+        quarantined: Dict[GridPoint, str] = {}
+
+        if self.resume:
+            self.journal.load()
+        else:
+            self.journal.reset()
+
+        # Stage 0: the journal (resumed sessions only).  Quarantined
+        # entries are given a fresh chance -- the operator explicitly
+        # asked to resume, so transient poison gets re-tried.
+        pending: List[GridPoint] = []
+        for point in self._configs:
+            entry = self.journal.entry(point)
+            if (entry is not None and entry.get("status") == "done"
+                    and isinstance(entry.get("stats"), dict)):
+                try:
+                    stats = RunStats.from_dict(entry["stats"])
+                except TypeError:
+                    pending.append(point)
+                    continue
+                sweep[point] = stats
+                self._heal_cache(point, stats)
+                self._settle(point, "journaled", stats,
+                             attempts=int(entry.get("attempts", 1)))
+            else:
+                pending.append(point)
+
+        # Stage 1: the per-point result cache.
+        missing: List[GridPoint] = []
+        for point in pending:
+            cached = (self.cache.get(spec.point_key(self._configs[point]))
+                      if self.cache is not None else None)
+            if cached is not None:
+                sweep[point] = cached
+                self._settle(point, "cached", cached)
+            else:
+                missing.append(point)
+
+        # Stage 2: record-once/replay-everywhere and the fused ladder.
+        if missing:
+            before = set(sweep)
+            missing = _resolve_via_traces(
+                spec.benchmark, spec.profile, self._configs, missing,
+                sweep, self.cache, spec.instrument, self.trace_cache,
+                spec.fused)
+            for point in sorted(set(sweep) - before):
+                self._settle(point, "replayed", sweep[point])
+
+        # Stage 3: supervised simulation of whatever is left.
+        if missing:
+            computed, quarantined = self._run_points(missing)
+            for point, stats in computed.items():
+                if self.cache is not None:
+                    self.cache.put(spec.point_key(self._configs[point]),
+                                   stats)
+                sweep[point] = stats
+
+        return SessionResult(spec=spec, sweep=sweep,
+                             quarantined=quarantined,
+                             counters=self.counters)
+
+    def _heal_cache(self, point: GridPoint, stats: RunStats) -> None:
+        """Re-seed the result cache from the journal if the crash took
+        the cache entry with it (or the cache lives elsewhere now)."""
+        if self.cache is None:
+            return
+        key = self.spec.point_key(self._configs[point])
+        if self.cache.get(key) is None:
+            self.cache.put(key, stats)
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+
+    def _run_points(self, points: List[GridPoint]):
+        spec = self.spec
+        use_pool = ((spec.jobs or 1) > 1
+                    or spec.point_timeout is not None)
+        if use_pool:
+            return self._run_pooled(points, max(1, spec.jobs or 1))
+        return self._run_serial(points)
+
+    def _record_failure(self, point: GridPoint, attempts: int,
+                        exc: BaseException,
+                        quarantined: Dict[GridPoint, str]) -> bool:
+        """Account one failed attempt; ``True`` if the point may retry."""
+        if attempts < self.spec.max_attempts:
+            self._count("retried")
+            _LOG.warning("sweep point procs=%d scc=%dB failed "
+                         "(attempt %d/%d): %s; retrying",
+                         point[0], point[1], attempts,
+                         self.spec.max_attempts, exc)
+            return True
+        reason = (f"{type(exc).__name__}: {exc} "
+                  f"(after {attempts} attempts)")
+        quarantined[point] = reason
+        _LOG.error("quarantining sweep point procs=%d scc=%dB: %s",
+                   point[0], point[1], reason)
+        self._settle(point, "quarantined", None, attempts=attempts,
+                     reason=reason)
+        return False
+
+    def _run_serial(self, points: List[GridPoint]):
+        spec = self.spec
+        computed: Dict[GridPoint, RunStats] = {}
+        quarantined: Dict[GridPoint, str] = {}
+        for point in points:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    stats = self._compute(spec.benchmark, spec.profile,
+                                          self._configs[point],
+                                          spec.instrument, point)
+                except Exception as exc:
+                    if self._record_failure(point, attempts, exc,
+                                            quarantined):
+                        time.sleep(spec.retry_backoff * attempts)
+                        continue
+                    break
+                computed[point] = stats
+                self._settle(point, "computed", stats, attempts=attempts)
+                break
+        return computed, quarantined
+
+    def _run_pooled(self, points: List[GridPoint], jobs: int):
+        """Submit each point as its own future so hung or crashed
+        workers only cost their own point.  A timeout kills the whole
+        pool (a hung worker cannot be cancelled), charges the expired
+        points an attempt, and resubmits the innocent in-flight points
+        without penalty."""
+        spec = self.spec
+        computed: Dict[GridPoint, RunStats] = {}
+        quarantined: Dict[GridPoint, str] = {}
+        attempts: Dict[GridPoint, int] = {p: 0 for p in points}
+        ready_at: Dict[GridPoint, float] = {p: 0.0 for p in points}
+        queue = deque(points)
+        inflight: Dict[object, GridPoint] = {}
+        deadlines: Dict[object, float] = {}
+        pool = _worker_pool(jobs)
+
+        def submit_ready() -> None:
+            now = time.monotonic()
+            for _ in range(len(queue)):
+                point = queue.popleft()
+                if ready_at[point] > now:
+                    queue.append(point)
+                    continue
+                attempts[point] += 1
+                future = pool.submit(
+                    self._compute, spec.benchmark, spec.profile,
+                    self._configs[point], spec.instrument, point)
+                inflight[future] = point
+                if spec.point_timeout is not None:
+                    deadlines[future] = now + spec.point_timeout
+
+        def handle_failure(point: GridPoint, exc: BaseException) -> None:
+            if self._record_failure(point, attempts[point], exc,
+                                    quarantined):
+                ready_at[point] = (time.monotonic()
+                                   + spec.retry_backoff * attempts[point])
+                queue.append(point)
+
+        while queue or inflight:
+            submit_ready()
+            if not inflight:
+                # Everything runnable is backing off; sleep it out.
+                wake = min(ready_at[point] for point in queue)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            timeout = 0.05 if queue else None
+            if deadlines:
+                next_deadline = min(deadlines.values())
+                budget = max(0.0, next_deadline - time.monotonic())
+                timeout = budget if timeout is None else min(timeout,
+                                                             budget)
+            done, _ = futures_wait(set(inflight), timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+            for future in done:
+                point = inflight.pop(future)
+                deadlines.pop(future, None)
+                exc = future.exception()
+                if exc is None:
+                    computed[point] = future.result()
+                    self._settle(point, "computed", computed[point],
+                                 attempts=attempts[point])
+                else:
+                    handle_failure(point, exc)
+            now = time.monotonic()
+            expired = [future for future, deadline in deadlines.items()
+                       if deadline <= now]
+            if expired:
+                # Kill the pool: a worker stuck inside a simulation can
+                # only be stopped by terminating its process.
+                for future in list(inflight):
+                    point = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    if future in expired:
+                        handle_failure(point, FutureTimeoutError(
+                            f"no result within {spec.point_timeout}s"))
+                    else:
+                        # Collateral damage of the pool kill: resubmit
+                        # without charging an attempt.
+                        attempts[point] -= 1
+                        queue.append(point)
+                _shutdown_pool(kill=True)
+                pool = _worker_pool(jobs)
+        return computed, quarantined
+
+
+def _run_miss_surface(spec: SweepSpec,
+                      trace_cache: Optional[TraceCache]):
+    """Content-only per-process miss surface of one parallel-grid row
+    (see :func:`repro.trace.multiconfig.per_process_miss_surface`)."""
+    from ..simulation import run_simulation
+    from ..trace.multiconfig import per_process_miss_surface
+    from ..trace.record import StreamRecorder
+    profile = spec.profile
+    ladder = spec.ladder
+    procs_per_cluster = spec.procs[0]
+    sizes = tuple(paper_bytes // profile.ladder_scale
+                  for paper_bytes in ladder)
+    config = SystemConfig.paper_parallel(procs_per_cluster, sizes[0])
+    workload = profile.workload(spec.benchmark)
+    # Only a configuration-independent tape may live in the shared trace
+    # cache (its key does not cover scc_size); otherwise record ad hoc.
+    signature = (workload.trace_signature(config)
+                 if workload.stream_is_deterministic(config) else None)
+    streams = None
+    if signature is not None and trace_cache is not None:
+        streams = trace_cache.get(signature)
+    if streams is None:
+        recorder = StreamRecorder(workload)
+        run_simulation(config, recorder)
+        streams = recorder.streams
+        if streams is None:
+            raise ValueError(
+                f"{spec.benchmark!r} did not produce a recordable packed "
+                f"stream on {procs_per_cluster} processors per cluster")
+        if signature is not None and trace_cache is not None:
+            trace_cache.put(signature, streams)
+    surface = per_process_miss_surface(config, sizes, streams)
+    by_paper = {}
+    for proc, row in surface.items():
+        by_paper[proc] = {paper_bytes: row[size]
+                          for paper_bytes, size in zip(ladder, sizes)}
+    return by_paper
+
+
+def run_sweep(spec: SweepSpec,
+              cache=_DEFAULT_CACHE,
+              trace_cache: Optional[TraceCache] = None,
+              session_dir: Optional[Path] = None,
+              resume: bool = False,
+              progress: Optional[Callable] = None):
+    """Resolve one :class:`SweepSpec` and return its results.
+
+    Grid sweeps return ``{(procs, paper_bytes): RunStats}``;
+    miss-surface sweeps return
+    ``{process: {paper_bytes: MissSurfacePoint}}``.  Pass a
+    ``session_dir`` to journal progress for crash-safe ``resume``;
+    without one the session is ephemeral (exactly the old sweeps'
+    behaviour).  If any point is quarantined the rest of the grid is
+    still resolved (and journaled) before
+    :class:`QuarantinedPointError` is raised; callers that want the
+    partial grid instead should drive :class:`SweepSession` directly.
+    """
+    if spec.kind == "miss-surface":
+        return _run_miss_surface(spec, trace_cache)
+    session = SweepSession(spec, cache=cache, trace_cache=trace_cache,
+                           session_dir=session_dir, resume=resume,
+                           progress=progress)
+    result = session.run()
+    if result.quarantined:
+        raise QuarantinedPointError(result.quarantined)
+    return result.sweep

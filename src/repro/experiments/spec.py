@@ -1,0 +1,349 @@
+"""Declarative sweep specifications and experiment profiles.
+
+:class:`SweepSpec` is the single description of a design-space sweep:
+which workload, which processor counts, which SCC ladder, and how to
+run it (instrumentation, trace/fused policy, worker processes, retry
+budget).  The legacy entry points in :mod:`repro.experiments.runner`
+and the checkpointed :class:`~repro.experiments.session.SweepSession`
+both consume one of these instead of threading an ever-growing
+keyword list through every layer.
+
+This module also owns the experiment profiles (workload sizings) and
+the canonical per-point result-cache key, so a spec can answer both
+"which simulations make up this sweep" (:meth:`SweepSpec.configs`) and
+"under which keys do their results live" (:meth:`SweepSpec.point_key`,
+:meth:`SweepSpec.signature`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.config import KB, SystemConfig
+from ..workloads.barnes_hut import BarnesHut
+from ..workloads.cholesky import Cholesky
+from ..workloads.mp3d import MP3D
+from ..workloads.multiprog import MultiprogrammingWorkload
+
+__all__ = ["ExperimentProfile", "PROFILES", "active_profile",
+           "PAPER_LADDER", "PROCS_SWEPT", "KNOWN_BENCHMARKS",
+           "SWEEP_KINDS", "point_cache_key", "SweepSpec", "GridPoint"]
+
+PAPER_LADDER: Tuple[int, ...] = tuple(
+    kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
+"""The paper's SCC sweep, in paper bytes."""
+
+PROCS_SWEPT: Tuple[int, ...] = (1, 2, 4, 8)
+
+KNOWN_BENCHMARKS: Tuple[str, ...] = ("barnes-hut", "mp3d", "cholesky",
+                                     "multiprogramming")
+
+SWEEP_KINDS: Tuple[str, ...] = ("parallel", "multiprogramming",
+                                "miss-surface")
+
+CACHE_VERSION = 4
+"""Bump to invalidate cached results after simulator changes.
+(v4: cached payloads gained the ``instrument`` observability summary.)"""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Workload sizing for one reproduction quality level."""
+
+    name: str
+    ladder_scale: int
+    barnes_bodies: int
+    barnes_steps: int
+    mp3d_particles: int
+    mp3d_steps: int
+    cholesky_n: int
+    multiprog_instructions: int
+    multiprog_quantum: int
+
+    def scaled_ladder(self) -> Tuple[int, ...]:
+        """Simulated SCC sizes standing in for the paper ladder."""
+        return tuple(size // self.ladder_scale for size in PAPER_LADDER)
+
+    # -- workload factories (fresh application object per call) ---------
+
+    def barnes_hut(self) -> BarnesHut:
+        return BarnesHut(n_bodies=self.barnes_bodies,
+                         steps=self.barnes_steps)
+
+    def mp3d(self) -> MP3D:
+        return MP3D(n_particles=self.mp3d_particles, steps=self.mp3d_steps)
+
+    def cholesky(self) -> Cholesky:
+        return Cholesky(n=self.cholesky_n)
+
+    def multiprogramming(self) -> MultiprogrammingWorkload:
+        return MultiprogrammingWorkload(
+            instructions_per_app=self.multiprog_instructions,
+            quantum_instructions=self.multiprog_quantum,
+            scale=self.ladder_scale)
+
+    def workload(self, benchmark: str):
+        """Factory dispatch by benchmark name."""
+        factories: Dict[str, Callable] = {
+            "barnes-hut": self.barnes_hut,
+            "mp3d": self.mp3d,
+            "cholesky": self.cholesky,
+            "multiprogramming": self.multiprogramming,
+        }
+        try:
+            return factories[benchmark]()
+        except KeyError:
+            raise ValueError(f"unknown benchmark {benchmark!r}") from None
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick", ladder_scale=8,
+        barnes_bodies=192, barnes_steps=2,
+        mp3d_particles=600, mp3d_steps=3,
+        cholesky_n=288,
+        multiprog_instructions=60_000, multiprog_quantum=20_000),
+    "paper": ExperimentProfile(
+        name="paper", ladder_scale=8,
+        barnes_bodies=512, barnes_steps=2,
+        mp3d_particles=900, mp3d_steps=5,
+        cholesky_n=416,
+        multiprog_instructions=150_000, multiprog_quantum=50_000),
+}
+
+
+def active_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default: ``paper``)."""
+    name = os.environ.get("REPRO_PROFILE", "paper")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"REPRO_PROFILE={name!r}; "
+                         f"known profiles: {sorted(PROFILES)}") from None
+
+
+def point_cache_key(benchmark: str, profile: ExperimentProfile,
+                    config: SystemConfig, instrument: bool = True) -> str:
+    """The result-cache key of one grid point.
+
+    The format is stable across releases (it predates
+    :class:`SweepSpec`) so warm caches survive the API redesign.
+    """
+    key = (f"{benchmark}|{profile}|clusters={config.clusters}"
+           f"|procs={config.processors_per_cluster}"
+           f"|scc={config.scc_size}|icache={config.icache_size}"
+           f"|model_icache={config.model_icache}")
+    if not instrument:
+        # Digest-less payloads get their own entries so a benchmark run
+        # never shadows the default instrumented payload (and the default
+        # key format is unchanged from earlier cache generations).
+        key += "|instrument=False"
+    return key
+
+
+GridPoint = Tuple[int, int]
+"""(processors per cluster, paper SCC bytes)."""
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Complete, validated description of one design-space sweep.
+
+    The identity half (``kind``, ``benchmark``, ``profile``, ``ladder``,
+    ``procs``, ``instrument``) determines the results bit-for-bit and is
+    digested by :meth:`signature`; the execution half (``jobs``,
+    ``fused``, ``max_attempts``, ``point_timeout``, ``retry_backoff``)
+    only controls *how* those results are obtained, so changing it never
+    invalidates a session journal or the result cache.
+    """
+
+    kind: str
+    """``"parallel"`` (Section 3.1), ``"multiprogramming"``
+    (Section 3.2) or ``"miss-surface"`` (per-process content-only
+    ladder analysis)."""
+
+    benchmark: str
+    profile: ExperimentProfile
+
+    ladder: Tuple[int, ...] = PAPER_LADDER
+    """SCC sizes in *paper* bytes; each simulation runs the paper size
+    divided by the profile's ladder scale."""
+
+    procs: Tuple[int, ...] = PROCS_SWEPT
+    """Processors per cluster (miss-surface sweeps use exactly one)."""
+
+    instrument: bool = True
+    """Attach the summary-only observability digest to every point."""
+
+    fused: bool = True
+    """Allow the one-pass multi-configuration ladder engine."""
+
+    jobs: Optional[int] = None
+    """Worker processes for uncached points (``None``/1 = serial)."""
+
+    max_attempts: int = 3
+    """Simulation attempts per point before it is quarantined."""
+
+    point_timeout: Optional[float] = None
+    """Wall-clock seconds one attempt may take (``None`` = unlimited).
+    Enforcing a timeout requires worker processes, so a serial sweep
+    with a timeout runs its points on a single-worker pool."""
+
+    retry_backoff: float = 0.5
+    """Seconds slept before retry ``n`` (scaled by the attempt number)."""
+
+    def __post_init__(self) -> None:
+        # Coerce sequences so specs hash and pickle regardless of how
+        # the caller spelled the grid.
+        object.__setattr__(self, "ladder", tuple(self.ladder))
+        object.__setattr__(self, "procs", tuple(self.procs))
+        _require(self.kind in SWEEP_KINDS,
+                 f"kind must be one of {SWEEP_KINDS}")
+        _require(self.benchmark in KNOWN_BENCHMARKS,
+                 f"benchmark must be one of {KNOWN_BENCHMARKS}")
+        _require(isinstance(self.profile, ExperimentProfile),
+                 "profile must be an ExperimentProfile")
+        if self.kind == "multiprogramming":
+            _require(self.benchmark == "multiprogramming",
+                     "multiprogramming sweeps run the multiprogramming "
+                     "workload")
+        _require(len(self.ladder) >= 1, "ladder must name at least one "
+                                        "SCC size")
+        _require(all(isinstance(size, int) and size >= 1
+                     for size in self.ladder),
+                 "ladder entries must be positive paper byte counts")
+        _require(len(self.procs) >= 1,
+                 "procs must name at least one processor count")
+        _require(all(isinstance(count, int) and count >= 1
+                     for count in self.procs),
+                 "procs entries must be positive processor counts")
+        if self.kind == "miss-surface":
+            _require(len(self.procs) == 1,
+                     "miss-surface sweeps analyse exactly one row; "
+                     "pass procs=(n,)")
+        _require(self.jobs is None or self.jobs >= 1,
+                 "jobs must be None or >= 1")
+        _require(self.max_attempts >= 1, "max_attempts must be >= 1")
+        _require(self.point_timeout is None or self.point_timeout > 0,
+                 "point_timeout must be None or > 0")
+        _require(self.retry_backoff >= 0, "retry_backoff must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parallel(cls, benchmark: str,
+                 profile: Optional[ExperimentProfile] = None,
+                 ladder: Optional[Tuple[int, ...]] = None,
+                 procs: Tuple[int, ...] = PROCS_SWEPT,
+                 **knobs) -> "SweepSpec":
+        """The Section 3.1 grid for one parallel benchmark."""
+        return cls(kind="parallel", benchmark=benchmark,
+                   profile=profile or active_profile(),
+                   ladder=ladder or PAPER_LADDER, procs=procs, **knobs)
+
+    @classmethod
+    def multiprogramming(cls,
+                         profile: Optional[ExperimentProfile] = None,
+                         ladder: Optional[Tuple[int, ...]] = None,
+                         procs: Tuple[int, ...] = PROCS_SWEPT,
+                         **knobs) -> "SweepSpec":
+        """The Section 3.2 grid (single cluster, icache modelled)."""
+        return cls(kind="multiprogramming", benchmark="multiprogramming",
+                   profile=profile or active_profile(),
+                   ladder=ladder or PAPER_LADDER, procs=procs, **knobs)
+
+    @classmethod
+    def miss_surface(cls, benchmark: str,
+                     profile: Optional[ExperimentProfile] = None,
+                     procs_per_cluster: int = 4,
+                     ladder: Optional[Tuple[int, ...]] = None,
+                     **knobs) -> "SweepSpec":
+        """Per-process miss surface of one parallel-grid row."""
+        return cls(kind="miss-surface", benchmark=benchmark,
+                   profile=profile or active_profile(),
+                   ladder=ladder or PAPER_LADDER,
+                   procs=(procs_per_cluster,), **knobs)
+
+    @classmethod
+    def from_cli_args(cls, args) -> "SweepSpec":
+        """Build a spec from the ``repro sweep`` argparse namespace."""
+        profile = (PROFILES[args.profile] if args.profile
+                   else active_profile())
+        knobs = dict(
+            profile=profile,
+            ladder=tuple(args.ladder) if args.ladder else None,
+            procs=(tuple(args.procs) if args.procs else PROCS_SWEPT),
+            instrument=not args.no_instrument,
+            fused=not args.no_fused,
+            jobs=args.jobs,
+            max_attempts=args.retries + 1,
+            point_timeout=args.timeout,
+            retry_backoff=args.backoff,
+        )
+        if args.benchmark == "multiprogramming":
+            return cls.multiprogramming(**knobs)
+        return cls.parallel(args.benchmark, **knobs)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def configs(self) -> Dict[GridPoint, SystemConfig]:
+        """Every grid point's machine configuration, keyed by
+        (processors per cluster, paper SCC bytes)."""
+        if self.kind == "miss-surface":
+            raise ValueError(
+                "miss-surface sweeps are row analyses, not point grids; "
+                "run them through run_sweep()")
+        scale = self.profile.ladder_scale
+        if self.kind == "multiprogramming":
+            icache = max(16 * KB // scale, 512)
+            return {
+                (count, paper_bytes):
+                    SystemConfig.paper_multiprogramming(
+                        count, paper_bytes // scale).with_updates(
+                            icache_size=icache)
+                for paper_bytes in self.ladder
+                for count in self.procs
+            }
+        return {
+            (count, paper_bytes): SystemConfig.paper_parallel(
+                count, paper_bytes // scale)
+            for paper_bytes in self.ladder
+            for count in self.procs
+        }
+
+    def point_key(self, config: SystemConfig) -> str:
+        """The result-cache key of one of this sweep's points."""
+        return point_cache_key(self.benchmark, self.profile, config,
+                               self.instrument)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe identity payload (the fields that determine the
+        results bit-for-bit; execution knobs are deliberately absent)."""
+        return {
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "profile": asdict(self.profile),
+            "ladder": list(self.ladder),
+            "procs": list(self.procs),
+            "instrument": self.instrument,
+        }
+
+    def signature(self) -> str:
+        """Stable digest of :meth:`describe`; keys the session journal
+        (and anything else that needs one name for the whole sweep)."""
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(
+            f"s{CACHE_VERSION}:{payload}".encode()).hexdigest()[:24]

@@ -57,6 +57,16 @@ class MetricsRegistry:
     # Reading
     # ------------------------------------------------------------------
 
+    def counter_group(self, prefix: str) -> Dict[str, float]:
+        """Counters under ``prefix.``, keyed by the remainder of the
+        name -- e.g. ``counter_group("session.points")`` is the sweep
+        orchestrator's live progress (``done``/``cached``/``retried``/
+        ``quarantined``...), the payload progress UIs poll."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {name[len(dotted):]: value
+                for name, value in sorted(self.counters.items())
+                if name.startswith(dotted)}
+
     def matching(self, prefix: str) -> List[Tuple[str, Timeline]]:
         """Timelines whose name starts with ``prefix``, sorted by name."""
         return sorted((name, tl) for name, tl in self.timelines.items()

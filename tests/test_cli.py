@@ -109,7 +109,10 @@ class TestSweepAndReportPaths:
             multiprog_instructions=1500, multiprog_quantum=500)
         monkeypatch.setitem(PROFILES, "tiny", profile)
         monkeypatch.setenv("REPRO_PROFILE", "tiny")
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SESSION_DIR",
+                           str(tmp_path / "sessions"))
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
         return profile
 
     def test_sweep_parallel(self, capsys, tiny_profile):
@@ -122,6 +125,44 @@ class TestSweepAndReportPaths:
         assert main(["sweep", "mp3d", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "normalized execution time" in out
+
+    def test_sweep_prints_progress_and_summary(self, capsys,
+                                               tiny_profile):
+        assert main(["sweep", "mp3d", "--procs", "1",
+                     "--ladder", "4KB,8KB"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "points: 2 total" in out
+        # A narrowed grid lacks the paper figures' normalization base,
+        # so the raw per-point table is printed instead.
+        assert "sweep points" in out
+
+    def test_sweep_resume_restores_journal(self, capsys, tiny_profile):
+        args = ["sweep", "mp3d", "--procs", "1", "--ladder", "4KB,8KB"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 journaled" in out
+
+    def test_sweep_quarantine_exit_code(self, capsys, monkeypatch,
+                                        tiny_profile):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "1:4096:raise")
+        args = ["sweep", "mp3d", "--procs", "1", "--ladder", "4KB,8KB",
+                "--retries", "1", "--backoff", "0"]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "QUARANTINED 1 point(s):" in out
+        assert "injected fault" in out
+        assert "--resume" in out
+        assert "1 retries" in out
+        # With the fault gone, --resume recomputes only the poisoned
+        # point and the sweep completes.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 journaled" in out
+        assert "0 quarantined" in out
 
     def test_report_table3(self, capsys, tiny_profile):
         assert main(["report", "table3"]) == 0
