@@ -15,7 +15,10 @@ Python:
   (cost-model ones instantly, simulation ones via the cached sweeps);
 * ``bench`` -- time the simulator itself (packed fast path vs the
   event-object path, trace-cached sweep vs instrumented resimulation)
-  and optionally write the numbers to a JSON file.
+  and optionally write the numbers to a JSON file;
+* ``fuzz`` -- differentially verify the three timing engines against
+  each other and a functional oracle over seeded adversarial tapes,
+  shrinking any divergence to a minimal repro.
 
 Examples::
 
@@ -25,6 +28,7 @@ Examples::
     python -m repro sweep cholesky --profile quick --jobs 4
     python -m repro report table6
     python -m repro bench --repeat 3 --out BENCH.json
+    python -m repro fuzz --seed 0 --budget 200
     python -m repro list
 """
 
@@ -190,6 +194,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "sweep: a Figure-5-style grid; fused: the "
                             "one-pass multi-configuration ladder vs "
                             "per-size replay (default: all)")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differentially fuzz the three timing engines "
+                     "(generic vs packed fast path vs fused ladder, "
+                     "checked against a functional oracle)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="master seed naming the tape set (default 0)")
+    fuzz.add_argument("--budget", type=int, default=200, metavar="N",
+                      help="tapes to generate and diff (default 200)")
+    fuzz.add_argument("--shrink", action="store_true", default=True,
+                      dest="shrink",
+                      help="delta-debug diverging tapes to minimal "
+                           "repros (default)")
+    fuzz.add_argument("--no-shrink", action="store_false", dest="shrink",
+                      help="persist diverging tapes unshrunk")
+    fuzz.add_argument("--out-dir", default=None, metavar="DIR",
+                      help="repro destination "
+                           "(default .repro_cache/repros)")
 
     commands.add_parser("list", help="list benchmarks and experiments")
     return parser
@@ -609,6 +631,37 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .verify import run_fuzz
+
+    def progress(index, budget, status, case_seed):
+        # One line per noteworthy case; clean cases tick silently every
+        # 50 so long budgets show life without drowning the terminal.
+        if status != "clean":
+            print(f"  [{index + 1}/{budget}] case {case_seed}: {status}")
+        elif (index + 1) % 50 == 0 or index + 1 == budget:
+            print(f"  [{index + 1}/{budget}] clean so far")
+
+    print(f"fuzzing {args.budget} tape(s) from seed {args.seed} "
+          f"(generic vs fast vs fused vs oracle)...")
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      shrink=args.shrink, out_dir=args.out_dir,
+                      progress=progress)
+    print(report.summary())
+    for record in report.divergences:
+        shrunk = (f", shrunk {record.original_events} -> "
+                  f"{record.shrunk_events} events"
+                  if record.shrunk_events is not None else "")
+        print(f"DIVERGED case {record.case_seed} [{record.kind}]{shrunk}")
+        for line in record.detail[:5]:
+            print(f"    {line}")
+        if record.repro_path is not None:
+            print(f"    repro: {record.repro_path}")
+    for case_seed, reason in report.quarantined:
+        print(f"QUARANTINED case {case_seed}: {reason}")
+    return 0 if report.ok else 1
+
+
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in BENCHMARKS:
@@ -632,6 +685,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_list()
 
 

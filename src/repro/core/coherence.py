@@ -260,8 +260,13 @@ class CoherenceController:
         for other in self.sccs:
             if other is writer:
                 continue
+            # Drop any fill tracking unconditionally: a fill whose line
+            # is snatched away mid-flight leaves no resident copy for
+            # ``invalidate`` to find, but its stale ``fill_ready_time``
+            # entry could satisfy a later miss to a different tag that
+            # maps to the same index.
+            other.drop_inflight(line)
             if other.array.invalidate(line):
-                other.drop_inflight(line)
                 other.note_lost(line)
                 other.stats.invalidations_received += 1
                 killed += 1

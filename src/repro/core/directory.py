@@ -210,9 +210,11 @@ class DirectoryController:
             if sharer == writer:
                 continue
             other = self.sccs[sharer]
+            # Unconditional: stale fill tracking must not outlive the
+            # copy (see CoherenceController._invalidate_remote).
+            other.drop_inflight(line)
             if other.array.invalidate(line):
                 other.note_lost(line)
-                other.drop_inflight(line)
                 other.stats.invalidations_received += 1
                 writer_scc.stats.invalidations_sent += 1
                 killed += 1

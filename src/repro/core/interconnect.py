@@ -99,3 +99,12 @@ class BankInterconnect:
     def pending_writes(self, bank: int, now: int) -> int:
         """Stores still draining from ``bank``'s buffer at ``now``."""
         return sum(1 for t in self._write_buffers[bank] if t > now)
+
+    def buffered_writes(self, bank: int) -> int:
+        """Entries currently held in ``bank``'s buffer, drained or not.
+
+        ``reserve_write_slot`` evicts lazily, so this may count retired
+        stores -- but it can never exceed ``write_buffer_depth``, which
+        is the invariant the differential oracle checks.
+        """
+        return len(self._write_buffers[bank])

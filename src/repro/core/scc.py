@@ -98,6 +98,26 @@ class SharedClusterCache:
         """Forget an in-flight fill (the line was invalidated under it)."""
         self._inflight.pop(line, None)
 
+    def inflight_lines(self) -> Tuple[int, ...]:
+        """Lines with an outstanding fill (introspection for invariant
+        checks; order unspecified)."""
+        return tuple(self._inflight)
+
+    def stale_inflight(self) -> Tuple[int, ...]:
+        """In-flight entries that violate the fill-tracking invariant.
+
+        Fills are installed in the array the moment their bus transaction
+        is granted (``note_fill`` only times the data arrival), so every
+        line with an outstanding fill must be resident under the same
+        full line number.  An entry whose line is no longer resident is a
+        leak: its stale ``fill_ready_time`` could later satisfy a miss to
+        a *different* tag that maps to the same index.  The differential
+        oracle checks this after every transaction.
+        """
+        resident = {line for line, _state in self.array.resident_lines()}
+        return tuple(line for line in self._inflight
+                     if line not in resident)
+
     # ------------------------------------------------------------------
     # Coherence-loss tracking
     # ------------------------------------------------------------------

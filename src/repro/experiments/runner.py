@@ -439,11 +439,9 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
 # Legacy sweep entry points (shims over run_sweep)
 # ----------------------------------------------------------------------
 
-def _deprecated_shim(name: str) -> None:
-    warnings.warn(
-        f"{name}() is deprecated; build a "
-        f"repro.experiments.SweepSpec and call run_sweep(spec) instead",
-        DeprecationWarning, stacklevel=3)
+_SHIM_DEPRECATION = ("{}() is deprecated; build a "
+                     "repro.experiments.SweepSpec and call "
+                     "run_sweep(spec) instead")
 
 
 def parallel_sweep(benchmark: str,
@@ -462,7 +460,9 @@ def parallel_sweep(benchmark: str,
     bit-identical to the new path (pinned by
     ``tests/experiments/test_session.py``).
     """
-    _deprecated_shim("parallel_sweep")
+    # stacklevel=2: the warning must point at the *caller* of the shim.
+    warnings.warn(_SHIM_DEPRECATION.format("parallel_sweep"),
+                  DeprecationWarning, stacklevel=2)
     from .session import run_sweep
     spec = SweepSpec.parallel(benchmark, profile=profile,
                               ladder=ladder, procs=procs, jobs=jobs,
@@ -483,7 +483,8 @@ def multiprogramming_sweep(profile: Optional[ExperimentProfile] = None,
                            fused: bool = True) -> Sweep:
     """Deprecated: the Section 3.2 grid (single cluster, icache
     modelled and scaled).  See :func:`parallel_sweep`."""
-    _deprecated_shim("multiprogramming_sweep")
+    warnings.warn(_SHIM_DEPRECATION.format("multiprogramming_sweep"),
+                  DeprecationWarning, stacklevel=2)
     from .session import run_sweep
     spec = SweepSpec.multiprogramming(profile=profile, ladder=ladder,
                                       procs=procs, jobs=jobs,
@@ -507,7 +508,8 @@ def miss_surface_sweep(benchmark: str,
     *counts* under fixed interleaving, not RunStats; use it to find
     working-set knees before spending full simulations on them.
     """
-    _deprecated_shim("miss_surface_sweep")
+    warnings.warn(_SHIM_DEPRECATION.format("miss_surface_sweep"),
+                  DeprecationWarning, stacklevel=2)
     from .session import run_sweep
     spec = SweepSpec.miss_surface(benchmark, profile=profile,
                                   procs_per_cluster=procs_per_cluster,

@@ -51,7 +51,7 @@ from .spec import GridPoint, SweepSpec
 
 __all__ = ["SweepSession", "SessionResult", "SessionJournal",
            "run_sweep", "QuarantinedPointError", "default_session_dir",
-           "FAULT_INJECT_ENV"]
+           "prune_stale_journals", "FAULT_INJECT_ENV"]
 
 _LOG = logging.getLogger(__name__)
 
@@ -68,6 +68,74 @@ def default_session_dir() -> Path:
     """Journal directory (override with ``REPRO_SESSION_DIR``)."""
     return Path(os.environ.get(
         "REPRO_SESSION_DIR", os.path.join(".repro_cache", "sessions")))
+
+
+STALE_TMP_AGE_S = 3600.0
+"""Orphaned per-PID ``*.tmp`` journal temporaries older than this are
+debris from a killed writer, not a write in progress."""
+
+
+def prune_stale_journals(directory: Optional[Path],
+                         keep_signature: Optional[str] = None,
+                         tmp_age: float = STALE_TMP_AGE_S) -> List[Path]:
+    """Garbage-collect the session directory; returns the paths removed.
+
+    Two kinds of debris accumulate without this: per-PID
+    ``<sig>.json.<pid>.tmp`` temporaries orphaned by a writer killed
+    between ``write_text`` and ``os.replace`` (removed once older than
+    ``tmp_age`` seconds), and journals of *finished* sweeps -- every
+    grid point recorded ``done`` -- which no live run will ever resume.
+    In-progress and quarantine-bearing journals are kept (they are
+    exactly what ``--resume`` needs), as is the journal matching
+    ``keep_signature`` (the opening session's own), and corrupt files
+    are left for :meth:`SessionJournal.load` to report.
+    """
+    if directory is None:
+        return []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    removed: List[Path] = []
+    now = time.time()
+    for tmp in directory.glob("*.json.*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime >= tmp_age:
+                tmp.unlink()
+                removed.append(tmp)
+        except OSError:
+            continue
+    for path in directory.glob("*.json"):
+        if keep_signature is not None and path.stem == keep_signature:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            continue
+        points = payload.get("points")
+        spec_desc = payload.get("spec")
+        if (payload.get("version") != JOURNAL_VERSION
+                or not isinstance(points, dict)
+                or not isinstance(spec_desc, dict)):
+            continue
+        try:
+            grid_size = (len(spec_desc["ladder"])
+                         * len(spec_desc["procs"]))
+        except (KeyError, TypeError):
+            continue
+        finished = (len(points) >= grid_size
+                    and all(isinstance(entry, dict)
+                            and entry.get("status") == "done"
+                            for entry in points.values()))
+        if finished:
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                continue
+    if removed:
+        _LOG.info("pruned %d stale session file(s) from %s",
+                  len(removed), directory)
+    return removed
 
 
 class QuarantinedPointError(RuntimeError):
@@ -326,6 +394,8 @@ class SweepSession:
             self.journal.load()
         else:
             self.journal.reset()
+        prune_stale_journals(self.journal.directory,
+                             keep_signature=spec.signature())
 
         # Stage 0: the journal (resumed sessions only).  Quarantined
         # entries are given a fresh chance -- the operator explicitly

@@ -139,7 +139,7 @@ class TimingInterleaver:
     def __init__(self, system: MultiprocessorSystem,
                  lock_overhead: Optional[int] = None,
                  barrier_overhead: Optional[int] = None,
-                 observer=None):
+                 observer=None, force_generic: bool = False):
         self.system = system
         self.observer = observer
         """Optional event observer (e.g.
@@ -165,9 +165,13 @@ class TimingInterleaver:
         # observer and no instrumentation probe.  Everything else drains
         # chunks through the generic per-event dispatch (still without
         # per-event generator resumes or event objects).
+        # ``force_generic`` opts out even when the machine qualifies --
+        # the differential verifier (repro.verify) uses it to run the
+        # same tape through both loops.
         lines = config.scc_lines
         self._fast_ok = (
-            observer is None
+            not force_generic
+            and observer is None
             and type(system) is MultiprocessorSystem
             and type(system.coherence) is CoherenceController
             and system.probe is NULL_PROBE

@@ -73,7 +73,8 @@ class RaceDetector:
         self._clocks: Dict[int, Dict[int, int]] = {}
         self._lock_clocks: Dict[int, Dict[int, int]] = {}
         self._queue_clocks: Dict[int, Dict[int, int]] = {}
-        self._barrier_waiting: Dict[int, List[int]] = {}
+        self._barrier_waiting: Dict[int, List[Tuple[int, Dict[int, int]]]] \
+            = {}
         self._lines: Dict[int, _LineState] = {}
         self.races: List[Race] = []
 
@@ -141,15 +142,21 @@ class RaceDetector:
         self._tick(proc)
 
     def on_barrier_arrive(self, proc: int, barrier_id: int) -> None:
-        self._barrier_waiting.setdefault(barrier_id, []).append(proc)
+        # Snapshot the arrival clock: the merge at release must be over
+        # what each participant had done *when it arrived*, so arrival
+        # and release handling stay symmetric even if a clock is touched
+        # between the two callbacks.
+        self._barrier_waiting.setdefault(barrier_id, []).append(
+            (proc, dict(self._clock(proc))))
 
     def on_barrier_release(self, barrier_id: int) -> None:
-        """All arrivals synchronize with each other."""
-        procs = self._barrier_waiting.pop(barrier_id, [])
+        """All arrivals synchronize with each other: the merged clock of
+        every arrival snapshot is joined into every participant."""
+        arrivals = self._barrier_waiting.pop(barrier_id, [])
         merged: Dict[int, int] = {}
-        for proc in procs:
-            self._join(merged, self._clock(proc))
-        for proc in procs:
+        for _proc, snapshot in arrivals:
+            self._join(merged, snapshot)
+        for proc, _snapshot in arrivals:
             self._join(self._clock(proc), merged)
             self._tick(proc)
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bus import SnoopyBus
-from repro.core.cache import INVALID, MODIFIED, SHARED
+from repro.core.cache import EXCLUSIVE, INVALID, MODIFIED, SHARED
 from repro.core.coherence import CoherenceController
 from repro.core.config import KB, SystemConfig
 from repro.core.scc import SharedClusterCache
@@ -194,3 +194,72 @@ class TestExclusivityProperty:
             assert scc.stats.read_misses <= scc.stats.reads
             assert scc.stats.write_misses <= scc.stats.writes
             assert scc.stats.coherence_read_misses <= scc.stats.read_misses
+
+
+class TestCheckExclusivityPaths:
+    """check_exclusivity holds through the two transitions that move
+    ownership between clusters -- and actually fires on manufactured
+    violations, so the property tests above are not vacuous."""
+
+    @given(st.integers(0, 3),
+           st.lists(st.integers(0, 3), min_size=1, max_size=10),
+           LINE_POOL)
+    @settings(max_examples=60, deadline=None)
+    def test_dirty_sharer_downgrade_path(self, writer, readers, line):
+        """A remote read of a dirty line downgrades the owner; however
+        the reads interleave, no MODIFIED/EXCLUSIVE copy survives one."""
+        _, sccs, ctrl = make_controller()
+        ctrl.access(writer, line, True, 0)
+        time = 100
+        for cluster in readers:
+            ctrl.access(cluster, line, False, time)
+            time += 100
+            assert ctrl.check_exclusivity() is None
+        if any(cluster != writer for cluster in readers):
+            for scc in sccs:
+                assert scc.array.state(line) in (INVALID, SHARED)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=8),
+           st.integers(0, 3), LINE_POOL)
+    @settings(max_examples=60, deadline=None)
+    def test_remote_invalidate_path(self, holders, writer, line):
+        """A write over any population of SHARED copies leaves exactly
+        one MODIFIED copy and every remote copy INVALID."""
+        _, sccs, ctrl = make_controller()
+        time = 0
+        for cluster in holders:
+            ctrl.access(cluster, line, False, time)
+            time += 50
+        ctrl.access(writer, line, True, time)
+        assert ctrl.check_exclusivity() is None
+        assert sccs[writer].array.state(line) == MODIFIED
+        for index, scc in enumerate(sccs):
+            if index != writer:
+                assert scc.array.state(line) == INVALID
+
+    def test_mesi_clean_exclusive_downgrades_on_remote_read(self):
+        _, sccs, ctrl = make_controller(protocol="mesi")
+        ctrl.access(0, 7, False, 0)
+        assert sccs[0].array.state(7) == EXCLUSIVE
+        ctrl.access(1, 7, False, 100)
+        assert sccs[0].array.state(7) == SHARED
+        assert sccs[1].array.state(7) == SHARED
+        assert ctrl.check_exclusivity() is None
+
+    @given(st.integers(0, 3), st.integers(0, 3), LINE_POOL)
+    @settings(max_examples=40, deadline=None)
+    def test_manufactured_double_owner_is_detected(self, first, second,
+                                                   line):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(first, line, True, 0)
+        if second == first:
+            assert ctrl.check_exclusivity() is None
+        else:
+            sccs[second].array.install(line, MODIFIED)
+            assert ctrl.check_exclusivity() == line
+
+    def test_dirty_copy_beside_shared_copy_is_detected(self):
+        _, sccs, ctrl = make_controller()
+        ctrl.access(0, 7, True, 0)
+        sccs[1].array.install(7, SHARED)
+        assert ctrl.check_exclusivity() == 7

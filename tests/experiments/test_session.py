@@ -1,6 +1,8 @@
 """Tests for the checkpointed, fault-tolerant sweep session."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -10,9 +12,11 @@ from repro.experiments.runner import (ResultCache, RunStats,
                                       multiprogramming_sweep,
                                       parallel_sweep)
 from repro.experiments.session import (FAULT_INJECT_ENV,
+                                       STALE_TMP_AGE_S,
                                        QuarantinedPointError,
                                        SessionJournal, SweepSession,
-                                       _maybe_inject_fault, run_sweep)
+                                       _maybe_inject_fault,
+                                       prune_stale_journals, run_sweep)
 from repro.experiments.spec import ExperimentProfile, SweepSpec
 
 
@@ -81,9 +85,11 @@ class TestShimEquivalence:
         """The deprecated entry point and run_sweep(spec) compute the
         same grid bit-for-bit from independent caches."""
         grid = dict(ladder=(4 * KB, 8 * KB), procs=(1, 2))
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning) as caught:
             old = parallel_sweep("mp3d", tiny_profile,
                                  ResultCache(tmp_path / "old"), **grid)
+        # stacklevel=2: the warning must blame the shim's caller.
+        assert caught[0].filename == __file__
         new = run_sweep(
             SweepSpec.parallel("mp3d", profile=tiny_profile, **grid),
             cache=ResultCache(tmp_path / "new"))
@@ -94,9 +100,10 @@ class TestShimEquivalence:
     def test_multiprogramming_shim_bit_identical(self, tmp_path,
                                                  tiny_profile):
         grid = dict(ladder=(2 * KB, 4 * KB), procs=(1,))
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning) as caught:
             old = multiprogramming_sweep(
                 tiny_profile, ResultCache(tmp_path / "old"), **grid)
+        assert caught[0].filename == __file__
         new = run_sweep(
             SweepSpec.multiprogramming(profile=tiny_profile, **grid),
             cache=ResultCache(tmp_path / "new"))
@@ -106,9 +113,10 @@ class TestShimEquivalence:
 
     def test_miss_surface_shim_equivalent(self, tiny_profile):
         ladder = (2 * KB, 8 * KB)
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning) as caught:
             old = miss_surface_sweep("mp3d", tiny_profile,
                                      procs_per_cluster=2, ladder=ladder)
+        assert caught[0].filename == __file__
         new = run_sweep(SweepSpec.miss_surface(
             "mp3d", profile=tiny_profile, procs_per_cluster=2,
             ladder=ladder))
@@ -174,6 +182,85 @@ class TestJournal:
         assert journal.path is None
         journal.record((1, 4 * KB), "done", stats=_stats())
         assert not journal.load()
+
+
+class TestJournalPruning:
+    """Session-directory GC: finished journals and orphaned temp files
+    are removed on session open; anything --resume could still want is
+    kept."""
+
+    def _journal(self, spec, directory, *, quarantine=None,
+                 points=None) -> SessionJournal:
+        journal = SessionJournal(spec, directory)
+        for point in (points if points is not None else spec.configs()):
+            if quarantine and point in quarantine:
+                journal.record(point, "quarantined", reason="boom")
+            else:
+                journal.record(point, "done", stats=_stats())
+        return journal
+
+    def test_finished_foreign_journal_removed(self, tmp_path,
+                                              tiny_profile):
+        finished = self._journal(_grid_spec(tiny_profile), tmp_path)
+        removed = prune_stale_journals(tmp_path)
+        assert removed == [finished.path]
+        assert not finished.path.exists()
+
+    def test_own_journal_kept_even_when_finished(self, tmp_path,
+                                                 tiny_profile):
+        spec = _grid_spec(tiny_profile)
+        own = self._journal(spec, tmp_path)
+        assert prune_stale_journals(
+            tmp_path, keep_signature=spec.signature()) == []
+        assert own.path.exists()
+
+    def test_incomplete_journal_kept(self, tmp_path, tiny_profile):
+        spec = _grid_spec(tiny_profile)
+        partial = self._journal(spec, tmp_path,
+                                points=list(spec.configs())[:1])
+        assert prune_stale_journals(tmp_path) == []
+        assert partial.path.exists()
+
+    def test_quarantine_bearing_journal_kept(self, tmp_path,
+                                             tiny_profile):
+        spec = _grid_spec(tiny_profile)
+        poisoned = self._journal(spec, tmp_path,
+                                 quarantine={(1, 4 * KB)})
+        assert prune_stale_journals(tmp_path) == []
+        assert poisoned.path.exists()
+
+    def test_corrupt_journal_left_for_load_to_report(self, tmp_path):
+        torn = tmp_path / "deadbeef.json"
+        torn.write_text("{torn write")
+        assert prune_stale_journals(tmp_path) == []
+        assert torn.exists()
+
+    def test_orphaned_tmp_removed_fresh_tmp_kept(self, tmp_path):
+        orphan = tmp_path / "aaaa.json.12345.tmp"
+        orphan.write_text("{")
+        stale_stamp = time.time() - 2 * STALE_TMP_AGE_S
+        os.utime(orphan, (stale_stamp, stale_stamp))
+        fresh = tmp_path / "bbbb.json.12345.tmp"
+        fresh.write_text("{")
+        removed = prune_stale_journals(tmp_path)
+        assert removed == [orphan]
+        assert not orphan.exists() and fresh.exists()
+
+    def test_missing_or_absent_directory_is_a_noop(self, tmp_path):
+        assert prune_stale_journals(tmp_path / "never-created") == []
+        assert prune_stale_journals(None) == []
+
+    def test_session_open_prunes_previous_sweeps(self, tmp_path,
+                                                 tiny_profile,
+                                                 no_trace_stage):
+        old_spec = _grid_spec(tiny_profile, ladder=(2 * KB,))
+        finished = self._journal(old_spec, tmp_path)
+        spec = _grid_spec(tiny_profile)
+        result = SweepSession(spec, cache=None, session_dir=tmp_path,
+                              compute=RecordingCompute()).run()
+        assert result.complete
+        assert not finished.path.exists()  # GC ran on open
+        assert SessionJournal(spec, tmp_path).path.exists()
 
 
 class TestSessionStages:

@@ -87,6 +87,28 @@ class TestCommands:
         assert "bus utilization" in out
         assert "trace written" not in out
 
+    def test_fuzz_clean_campaign(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPRO_DIR", str(tmp_path))
+        assert main(["fuzz", "--seed", "0", "--budget", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "15 clean" in out
+        assert "0 diverged" in out
+
+    def test_fuzz_divergence_exit_code(self, capsys, tmp_path,
+                                       monkeypatch):
+        from repro.core.coherence import CoherenceController
+        monkeypatch.setenv("REPRO_REPRO_DIR", str(tmp_path))
+        original = CoherenceController.read_miss
+
+        def patched(self, scc, line, start):
+            return original(self, scc, line, start) + 1
+
+        monkeypatch.setattr(CoherenceController, "read_miss", patched)
+        assert main(["fuzz", "--seed", "0", "--budget", "5",
+                     "--no-shrink"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out or "diverged" in out
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "linpack"])

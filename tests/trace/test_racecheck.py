@@ -94,6 +94,47 @@ class TestSyntheticScenarios:
             RaceDetector(line_size=24)
 
 
+class TestBarrierSymmetry:
+    """Regression: barrier release must join the merged arrival clocks
+    into *every* participant, so pre-barrier work is ordered before
+    post-barrier work in both directions, not just one."""
+
+    def test_barrier_orders_both_directions(self):
+        detector = run_with_detector(
+            [[Write(0x100), Barrier(0, 2), Write(0x200)],
+             [Write(0x200), Barrier(0, 2), Write(0x100)]])
+        assert not detector.races
+
+    def test_release_joins_every_arrival_directly(self):
+        detector = RaceDetector(16)
+        detector.on_access(0, 0x100, True)
+        detector.on_access(1, 0x200, True)
+        detector.on_access(2, 0x300, True)
+        for proc in (0, 1, 2):
+            detector.on_barrier_arrive(proc, 5)
+        detector.on_barrier_release(5)
+        # Every participant may now touch every other's pre-barrier line.
+        detector.on_access(1, 0x100, True)
+        detector.on_access(2, 0x200, True)
+        detector.on_access(0, 0x300, True)
+        assert not detector.races
+
+    def test_barrier_does_not_order_non_participants(self):
+        detector = RaceDetector(16)
+        detector.on_access(0, 0x100, True)
+        detector.on_barrier_arrive(0, 2)
+        detector.on_barrier_arrive(1, 2)
+        detector.on_barrier_release(2)
+        detector.on_access(3, 0x100, True)  # proc 3 never arrived
+        assert detector.races
+
+    def test_successive_episodes_reuse_a_barrier_id(self):
+        detector = run_with_detector(
+            [[Write(0x100), Barrier(0, 2), Barrier(0, 2), Read(0x200)],
+             [Write(0x200), Barrier(0, 2), Barrier(0, 2), Read(0x100)]])
+        assert not detector.races
+
+
 class TestWorkloadCharacterization:
     """The detector documents the workloads' synchronization structure:
     Cholesky is fully ordered; Barnes-Hut and MP3D contain the same

@@ -1,0 +1,122 @@
+"""Tests for the differential runner."""
+
+import pytest
+
+from repro.verify import PathResult, TapeDivergence, diff_tape, \
+    generate_tape, run_tape
+from repro.verify.differ import _compare, _diff_values, fused_eligible
+
+SEEDS = [f"differ:{i}" for i in range(12)]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_engines_agree_on_generated_tapes(self, seed):
+        divergence = diff_tape(generate_tape(seed))
+        assert divergence is None, divergence.summary()
+
+    def test_fast_path_actually_engages(self):
+        """The comparison is vacuous if ``_run_fast`` never runs; the
+        sampled envelope must include machines that qualify."""
+        engaged = [run_tape(generate_tape(seed), "fast").fast_engaged
+                   for seed in SEEDS]
+        assert any(engaged)
+
+    def test_generic_and_fast_fingerprints_match_fully(self):
+        seed = next(seed for seed in SEEDS
+                    if run_tape(generate_tape(seed), "fast").fast_engaged)
+        tape = generate_tape(seed)
+        generic = run_tape(tape, "generic")
+        fast = run_tape(tape, "fast")
+        assert generic.error is None and fast.error is None
+        assert generic.fingerprint == fast.fingerprint
+
+    def test_fused_engine_compared_when_eligible(self):
+        tapes = [generate_tape(f"fused:{i}") for i in range(60)]
+        eligible = [t for t in tapes if fused_eligible(t)]
+        assert eligible  # the generator reaches the fused envelope
+        tape = eligible[0]
+        fused = run_tape(tape, "fused")
+        generic = run_tape(tape, "generic")
+        assert fused.error is None
+        assert fused.fingerprint["events"] == \
+            generic.fingerprint["events"]
+        assert fused.fingerprint["stats"] == generic.fingerprint["stats"]
+
+    def test_multiprocessor_tapes_are_never_fused_eligible(self):
+        tape = next(t for t in (generate_tape(f"mp:{i}")
+                                for i in range(40))
+                    if t.config().total_processors > 1)
+        assert not fused_eligible(tape)
+
+
+class TestComparison:
+    def _results(self, **overrides):
+        base = PathResult(name="generic",
+                          fingerprint={"events": 10,
+                                       "stats": {"reads": 4}})
+        other = PathResult(name="fast",
+                           fingerprint={"events": 10,
+                                        "stats": {"reads": 4}})
+        for key, value in overrides.items():
+            setattr(other, key, value)
+        return base, other
+
+    def test_identical_fingerprints_agree(self):
+        tape = generate_tape("cmp:0")
+        base, other = self._results()
+        assert _compare(tape, base, other, ("events", "stats")) is None
+
+    def test_field_difference_is_a_divergence(self):
+        tape = generate_tape("cmp:1")
+        base, other = self._results(
+            fingerprint={"events": 10, "stats": {"reads": 5}})
+        divergence = _compare(tape, base, other, ("events", "stats"))
+        assert isinstance(divergence, TapeDivergence)
+        assert divergence.kind == "fast"
+        assert any("stats.reads" in line for line in divergence.detail)
+        assert "fast diverges from generic" in divergence.summary()
+
+    def test_same_error_type_is_agreement(self):
+        tape = generate_tape("cmp:2")
+        base, other = self._results()
+        base.error = ("SyncProtocolError", "release of un-held lock")
+        other.error = ("SyncProtocolError", "different message is fine")
+        assert _compare(tape, base, other, ("events",)) is None
+
+    def test_one_sided_error_is_a_divergence(self):
+        tape = generate_tape("cmp:3")
+        base, other = self._results(error=("RuntimeError", "boom"))
+        divergence = _compare(tape, base, other, ("events",))
+        assert divergence is not None
+        assert "error" in divergence.detail[0]
+
+    def test_mismatched_error_types_diverge(self):
+        tape = generate_tape("cmp:4")
+        base, other = self._results(error=("ValueError", "boom"))
+        base.error = ("RuntimeError", "bang")
+        assert _compare(tape, base, other, ("events",)) is not None
+
+    def test_diff_values_reports_nested_paths(self):
+        out = []
+        _diff_values("stats", {"a": {"b": 1}, "c": [1, 2]},
+                     {"a": {"b": 2}, "c": [1, 2]}, out)
+        assert out == ["stats.a.b: 1 != 2"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_tape(generate_tape("cmp:5"), "turbo")
+
+
+class TestRunawayGuard:
+    def test_max_cycles_bounds_every_path(self):
+        """An absurdly small cycle budget trips the same error on both
+        sides, which the differ treats as agreement (error parity)."""
+        # (The fused engine takes no cycle bound, so stay off tapes it
+        # would also run.)
+        tape = next(t for t in (generate_tape(f"runaway:{i}")
+                                for i in range(20))
+                    if not fused_eligible(t))
+        generic = run_tape(tape, "generic", max_cycles=1)
+        assert generic.error is not None
+        assert diff_tape(tape, max_cycles=1) is None

@@ -1,0 +1,85 @@
+"""Mutation check: the differential verifier must catch a deliberately
+injected off-by-one in the packed fast path and shrink it to a small
+repro.  ``CoherenceController.read_miss`` is the fast-path-only protocol
+entry (the generic loop goes through ``read_line``), so perturbing it
+diverges exactly the ``fast`` engine from the generic baseline."""
+
+import pytest
+
+from repro.core.coherence import CoherenceController
+from repro.verify import diff_tape, generate_tape, run_fuzz, shrink_tape
+
+MUTANT_SEED_LIMIT = 40
+
+
+@pytest.fixture
+def off_by_one_read_miss(monkeypatch):
+    original = CoherenceController.read_miss
+
+    def patched(self, scc, line, start):
+        return original(self, scc, line, start) + 1
+
+    monkeypatch.setattr(CoherenceController, "read_miss", patched)
+
+
+def _first_diverging_tape():
+    for index in range(MUTANT_SEED_LIMIT):
+        tape = generate_tape(f"0:{index}")
+        divergence = diff_tape(tape)
+        if divergence is not None:
+            return tape, divergence
+    pytest.fail("no generated tape engaged the mutated fast path")
+
+
+class TestMutationIsCaught:
+    def test_injected_off_by_one_diverges_the_fast_path(
+            self, off_by_one_read_miss):
+        _tape, divergence = _first_diverging_tape()
+        assert divergence.kind == "fast"
+        assert divergence.detail  # field-level diff, not a crash
+
+    def test_divergence_shrinks_to_a_small_repro(self,
+                                                 off_by_one_read_miss):
+        tape, _ = _first_diverging_tape()
+        shrunk, checks = shrink_tape(tape)
+        assert checks >= 1
+        assert shrunk.total_events() <= 50  # acceptance bound
+        assert diff_tape(shrunk) is not None  # still reproduces
+
+    def test_fuzz_campaign_reports_and_persists_the_repro(
+            self, off_by_one_read_miss, tmp_path):
+        report = run_fuzz(seed=0, budget=10, out_dir=tmp_path)
+        assert not report.ok
+        assert report.divergences
+        record = report.divergences[0]
+        assert record.kind == "fast"
+        assert record.shrunk_events is not None
+        assert record.shrunk_events <= 50
+        assert record.shrunk_events <= record.original_events
+        assert record.repro_path is not None and record.repro_path.exists()
+        assert report.counters["diverged"] >= 1
+
+
+class TestUnmutatedBaseline:
+    def test_same_seeds_are_clean_without_the_mutation(self, tmp_path):
+        report = run_fuzz(seed=0, budget=10, out_dir=tmp_path)
+        assert report.ok, report.summary()
+        assert report.counters["clean"] == 10
+        assert not list(tmp_path.iterdir())  # no repro files written
+
+    def test_shrunk_mutant_repro_is_clean_on_the_fixed_tree(self):
+        """The tape that reproduces under the mutation must not diverge
+        on the real implementation -- proving the shrink predicate
+        tracked the injected bug, not generator noise."""
+        original = CoherenceController.read_miss
+
+        def patched(self, scc, line, start):
+            return original(self, scc, line, start) + 1
+
+        CoherenceController.read_miss = patched
+        try:
+            tape, _ = _first_diverging_tape()
+            shrunk, _ = shrink_tape(tape)
+        finally:
+            CoherenceController.read_miss = original
+        assert diff_tape(shrunk) is None

@@ -1,0 +1,120 @@
+"""Tests for the functional MESI oracle."""
+
+from array import array
+
+import pytest
+
+from repro.core.cache import MODIFIED, SHARED
+from repro.core.config import SystemConfig
+from repro.core.system import MultiprocessorSystem
+from repro.trace.interleave import TimingInterleaver
+from repro.trace.packed import OP_READ, OP_WRITE, PackedChunk
+from repro.verify import (FunctionalOracle, OracleViolation, generate_tape,
+                          run_tape)
+from repro.verify.oracle import _RefCache
+
+
+def run_observed(streams, **config_kwargs):
+    """Drive packed per-processor streams through the generic loop with
+    an attached oracle; returns (system, oracle)."""
+    config_kwargs.setdefault("clusters", 2)
+    config_kwargs.setdefault("scc_size", 512)
+    config_kwargs.setdefault("line_size", 16)
+    config = SystemConfig(**config_kwargs)
+    system = MultiprocessorSystem(config)
+    oracle = FunctionalOracle(system)
+    interleaver = TimingInterleaver(system, observer=oracle)
+    for pid, stream in streams.items():
+        interleaver.add_process(pid,
+                                iter([PackedChunk(array("q", stream))]))
+    interleaver.run()
+    return system, oracle
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", [f"oracle:{i}" for i in range(10)])
+    def test_oracle_agrees_with_the_machine(self, seed):
+        result = run_tape(generate_tape(seed), "oracle")
+        assert result.error is None
+
+    def test_every_access_is_checked(self):
+        _, oracle = run_observed({0: [OP_READ, 0, OP_WRITE, 16],
+                                  1: [OP_READ, 0]})
+        oracle.verify_final()
+        assert oracle.accesses_checked == 3
+
+
+class TestCorruptionDetection:
+    def test_missing_line_detected(self):
+        system, oracle = run_observed({0: [OP_READ, 0, OP_READ, 16]})
+        scc = system.clusters[0].scc
+        line = next(iter(scc.array.resident_lines()))[0]
+        scc.drop_inflight(line)  # keep the inclusion check quiet
+        assert scc.array.invalidate(line)
+        with pytest.raises(OracleViolation, match="missing"):
+            oracle.verify_final()
+
+    def test_wrong_state_detected(self):
+        # Both clusters read line 0: SHARED everywhere.  Silently
+        # promoting one copy contradicts the model (and exclusivity).
+        system, oracle = run_observed({0: [OP_READ, 0], 1: [OP_READ, 0]})
+        system.clusters[0].scc.array.set_state(0, MODIFIED)
+        with pytest.raises(OracleViolation):
+            oracle.verify_final()
+
+    def test_stale_inflight_fill_detected(self):
+        system, oracle = run_observed({0: [OP_READ, 0]})
+        # An in-flight fill for a line that is not resident is exactly
+        # the leak the unconditional drop_inflight hardening prevents.
+        system.clusters[1].scc.note_fill(5, ready=10_000)
+        with pytest.raises(OracleViolation, match="non-resident"):
+            oracle.verify_final()
+
+    def test_detection_fires_mid_run_too(self):
+        """on_access verifies the state left by the previous transaction,
+        so corruption surfaces on the next access, not only at the end."""
+        config = SystemConfig(clusters=1, scc_size=512, line_size=16)
+        system = MultiprocessorSystem(config)
+        oracle = FunctionalOracle(system)
+        oracle.on_access(0, 0, is_write=False)
+        system.coherence.access(0, 0, False, 0)
+        system.clusters[0].scc.array.set_state(0, MODIFIED)
+        with pytest.raises(OracleViolation):
+            oracle.on_access(0, 16, is_write=False)
+
+
+class TestRefCache:
+    def test_direct_mapped_conflict_evicts(self):
+        cache = _RefCache(num_lines=4, associativity=1)
+        cache.install(1, SHARED)
+        cache.install(5, SHARED)  # same set as 1
+        assert cache.lookup(1) is None
+        assert cache.lookup(5) == SHARED
+
+    def test_set_associative_evicts_lru(self):
+        cache = _RefCache(num_lines=4, associativity=2)
+        cache.install(0, SHARED)
+        cache.install(2, SHARED)
+        cache.touch(0)  # 2 becomes LRU
+        cache.install(4, SHARED)
+        assert cache.lookup(2) is None
+        assert cache.lookup(0) == SHARED
+        assert cache.lookup(4) == SHARED
+
+    def test_install_over_resident_updates_in_place(self):
+        cache = _RefCache(num_lines=4, associativity=2)
+        cache.install(0, SHARED)
+        cache.install(2, SHARED)
+        cache.install(2, MODIFIED)  # no eviction, state update + MRU
+        assert cache.resident() == {0: SHARED, 2: MODIFIED}
+
+    def test_set_state_requires_residency(self):
+        cache = _RefCache(num_lines=4, associativity=1)
+        with pytest.raises(KeyError):
+            cache.set_state(3, MODIFIED)
+
+    def test_invalidate_reports_presence(self):
+        cache = _RefCache(num_lines=4, associativity=1)
+        cache.install(3, MODIFIED)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
