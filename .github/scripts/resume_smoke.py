@@ -47,12 +47,12 @@ def _table(output: str) -> str:
 def _summary(output: str) -> dict:
     match = re.search(
         r"points: (\d+) total -- (\d+) computed, (\d+) replayed, "
-        r"(\d+) cached, (\d+) journaled, (\d+) retries, "
-        r"(\d+) quarantined", output)
+        r"(\d+) analytical, (\d+) cached, (\d+) journaled, "
+        r"(\d+) retries, (\d+) quarantined", output)
     if not match:
         sys.exit(f"no summary line in output:\n{output}")
-    keys = ("total", "computed", "replayed", "cached", "journaled",
-            "retries", "quarantined")
+    keys = ("total", "computed", "replayed", "analytical", "cached",
+            "journaled", "retries", "quarantined")
     return dict(zip(keys, map(int, match.groups())))
 
 
@@ -87,7 +87,7 @@ def main() -> None:
     if counts["journaled"] < 1:
         sys.exit(f"resume restored nothing from the journal: {counts}")
     if counts["computed"] + counts["journaled"] + counts["replayed"] \
-            + counts["cached"] != counts["total"]:
+            + counts["analytical"] + counts["cached"] != counts["total"]:
         sys.exit(f"resume did not resolve the whole grid: {counts}")
     if counts["quarantined"]:
         sys.exit(f"resume quarantined points: {counts}")

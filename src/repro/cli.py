@@ -13,6 +13,9 @@ Python:
   and figure series;
 * ``report`` -- regenerate a specific table or figure of the paper
   (cost-model ones instantly, simulation ones via the cached sweeps);
+* ``model`` -- the :mod:`repro.model` analytical surrogate: predict a
+  row's miss-ratio curve without simulation, or cross-validate the
+  model against the simulator and gate on the aggregate error;
 * ``bench`` -- time the simulator itself (packed fast path vs the
   event-object path, trace-cached sweep vs instrumented resimulation)
   and optionally write the numbers to a JSON file;
@@ -26,6 +29,9 @@ Examples::
     python -m repro simulate mp3d --procs 4 --scc 4KB --organization private
     python -m repro profile mp3d --procs 8 --scc 4KB --trace-out mp3d.json
     python -m repro sweep cholesky --profile quick --jobs 4
+    python -m repro sweep mp3d --profile quick --fidelity analytical
+    python -m repro model mp3d --profile quick --procs 1
+    python -m repro model --validate --profile quick
     python -m repro report table6
     python -m repro bench --repeat 3 --out BENCH.json
     python -m repro fuzz --seed 0 --budget 200
@@ -160,6 +166,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-fused", action="store_true",
                        help="disable the one-pass multi-configuration "
                             "ladder engine")
+    sweep.add_argument("--fidelity", default="fused",
+                       choices=("analytical", "fused", "full"),
+                       help="resolution tier: analytical prices every "
+                            "point from one recorded tape per row "
+                            "(repro.model, no simulation), fused allows "
+                            "the exact replay engines (default), full "
+                            "forces per-point simulation")
     sweep.add_argument("--resume", action="store_true",
                        help="resume this sweep from its session journal, "
                             "recomputing only points not yet completed")
@@ -175,6 +188,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="base sleep before a retry, scaled by the "
                             "attempt number (default 0.5)")
 
+    model = commands.add_parser(
+        "model",
+        help="analytical surrogate: predict a row without simulation, "
+             "or cross-validate the model against the simulator")
+    model.add_argument("benchmark", nargs="?", choices=BENCHMARKS,
+                       help="predict this benchmark's miss-ratio curve "
+                            "(omit with --validate)")
+    model.add_argument("--validate", action="store_true",
+                       help="cross-validate predictions against the "
+                            "simulator over the paper grid and fail if "
+                            "the aggregate error exceeds --threshold")
+    model.add_argument("--profile", default=None,
+                       choices=("quick", "paper"),
+                       help="workload sizing (default: REPRO_PROFILE)")
+    model.add_argument("--procs", type=_parse_int_list, default=None,
+                       metavar="LIST",
+                       help="processors per cluster, comma-separated "
+                            "(default: 1,2,4,8; prediction mode only)")
+    model.add_argument("--ladder", type=_parse_size_list, default=None,
+                       metavar="LIST",
+                       help="paper SCC sizes, comma-separated "
+                            "(default: the full ladder)")
+    model.add_argument("--threshold", type=float, default=0.05,
+                       metavar="MAE",
+                       help="largest acceptable aggregate mean absolute "
+                            "miss-ratio error (default 0.05)")
+    model.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the full report as JSON")
+
     report = commands.add_parser(
         "report", help="regenerate one table/figure of the paper")
     report.add_argument("experiment",
@@ -189,11 +231,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="also write the measurements as JSON")
     bench.add_argument("--scenario", default="all",
-                       choices=("all", "point", "sweep", "fused"),
+                       choices=("all", "point", "sweep", "fused",
+                                "analytical"),
                        help="point: one quick Barnes-Hut configuration; "
                             "sweep: a Figure-5-style grid; fused: the "
                             "one-pass multi-configuration ladder vs "
-                            "per-size replay (default: all)")
+                            "per-size replay; analytical: the "
+                            "repro.model surrogate vs the fused ladder "
+                            "(default: all)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differentially fuzz the three timing engines "
@@ -426,6 +471,82 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_model(args) -> int:
+    import json
+    from .experiments import (PAPER_LADDER, PROCS_SWEPT, SweepSpec,
+                              default_session_dir, format_size,
+                              render_table, run_sweep)
+    from .model import cross_validate
+    from .trace.record import default_trace_cache
+    profile = _profile(args.profile)
+    ladder = args.ladder or PAPER_LADDER
+    trace_cache = default_trace_cache()
+    if args.validate:
+        def progress(benchmark, procs, stage):
+            print(f"  {benchmark} procs={procs}: {stage}...", flush=True)
+
+        print(f"cross-validating the analytical model "
+              f"({profile.name} profile)...")
+        report = cross_validate(profile=profile, ladder=ladder,
+                                trace_cache=trace_cache,
+                                session_dir=default_session_dir(),
+                                progress=progress)
+        print()
+        rows = [[row["benchmark"], row["procs"],
+                 f"{row['mae']:.4f}", f"{row['max_error']:.4f}"]
+                for row in report["rows"]]
+        print(render_table("analytical vs simulated miss ratios",
+                           ["benchmark", "procs/cl", "MAE", "max error"],
+                           rows))
+        print()
+        print(f"aggregate: MAE={report['mae']:.4f} "
+              f"max={report['max_error']:.4f} over "
+              f"{len(report['rows'])} rows x {len(report['ladder'])} "
+              f"sizes")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        if report["mae"] > args.threshold:
+            print(f"FAIL: aggregate MAE {report['mae']:.4f} exceeds "
+                  f"threshold {args.threshold}")
+            return 1
+        print(f"OK: aggregate MAE {report['mae']:.4f} within "
+              f"threshold {args.threshold}")
+        return 0
+    if not args.benchmark:
+        print("model: name a benchmark to predict, or pass --validate",
+              file=sys.stderr)
+        return 2
+    knobs = dict(profile=profile, ladder=ladder,
+                 procs=args.procs or PROCS_SWEPT,
+                 instrument=False, fidelity="analytical")
+    if args.benchmark == "multiprogramming":
+        spec = SweepSpec.multiprogramming(**knobs)
+    else:
+        spec = SweepSpec.parallel(args.benchmark, **knobs)
+    sweep = run_sweep(spec, trace_cache=trace_cache,
+                      session_dir=default_session_dir())
+    rows = [[procs, format_size(paper_bytes),
+             f"{100 * stats.miss_rate:.2f} %",
+             f"{100 * stats.read_miss_rate:.2f} %",
+             f"{stats.execution_time:,}"]
+            for (procs, paper_bytes), stats in sorted(sweep.items())]
+    print(render_table(
+        f"{args.benchmark}: analytical predictions (no simulation)",
+        ["procs/cl", "SCC size", "miss", "read miss", "est. cycles"],
+        rows))
+    if args.out:
+        payload = {f"{procs}/{paper_bytes}": stats.as_dict()
+                   for (procs, paper_bytes), stats in sorted(sweep.items())}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _bench_point(repeat: int) -> dict:
     """Quick Barnes-Hut on the paper's 8x8 machine: packed fast path vs
     the event-object generator path (identical statistics, same events)."""
@@ -588,6 +709,68 @@ def _bench_fused(repeat: int) -> dict:
     }
 
 
+def _bench_analytical(repeat: int) -> dict:
+    """The quick multiprogramming ladder, warm caches, two ways: the
+    fused one-pass replay versus the :mod:`repro.model` surrogate.
+
+    The warm-up round records the row's tape (shared by both modes)
+    and builds the row profile; timed rounds then get a fresh result
+    cache each, so fused pays one pass over the tape while the
+    surrogate only prices points from the cached profile.  Exactness
+    differs by construction here -- the model is exact on this row --
+    but the bench reports the observed error rather than asserting it.
+    """
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+    from .experiments.runner import PAPER_LADDER, PROFILES, ResultCache
+    from .experiments.session import run_sweep
+    from .experiments.spec import SweepSpec
+    from .trace.record import TraceCache
+    profile = PROFILES["quick"]
+    ladder = PAPER_LADDER
+    procs = (1,)
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    timings = {"fused": [], "analytical": []}
+    try:
+        trace_cache = TraceCache(scratch / "traces")
+        specs = {fidelity: SweepSpec.multiprogramming(
+                     profile=profile, ladder=ladder, procs=procs,
+                     instrument=False, fidelity=fidelity)
+                 for fidelity in ("fused", "analytical")}
+        reference = run_sweep(specs["fused"],
+                              cache=ResultCache(scratch / "warm-f"),
+                              trace_cache=trace_cache)
+        surrogate = run_sweep(specs["analytical"],
+                              cache=ResultCache(scratch / "warm-a"),
+                              trace_cache=trace_cache)
+        error = max(abs(surrogate[point].miss_rate
+                        - reference[point].miss_rate)
+                    for point in reference)
+        for index in range(max(1, repeat)):
+            for fidelity in ("fused", "analytical"):
+                begin = time.perf_counter()
+                run_sweep(specs[fidelity],
+                          cache=ResultCache(
+                              scratch / f"results-{fidelity}-{index}"),
+                          trace_cache=trace_cache)
+                timings[fidelity].append(time.perf_counter() - begin)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    fused_s = min(timings["fused"])
+    analytical_s = min(timings["analytical"])
+    return {
+        "grid": f"multiprogramming quick, ladder={sorted(ladder)}, "
+                f"procs={list(procs)}, warm trace+profile caches",
+        "fused_warm_s": round(fused_s, 4),
+        "analytical_warm_s": round(analytical_s, 4),
+        "speedup": round(fused_s / analytical_s, 2),
+        "max_abs_miss_ratio_error": round(error, 6),
+        "repeats": repeat,
+    }
+
+
 def _cmd_bench(args) -> int:
     import json
     import platform
@@ -623,6 +806,14 @@ def _cmd_bench(args) -> int:
         print(f"  per-size (warm) : {fused['per_size_warm_s']:.3f} s")
         print(f"  fused (warm)    : {fused['fused_warm_s']:.3f} s")
         print(f"  speedup         : {fused['speedup']:.2f}x")
+    if args.scenario in ("all", "analytical"):
+        print("timing analytical surrogate "
+              "(repro.model vs fused replay, warm caches)...")
+        report["analytical_model"] = model = _bench_analytical(args.repeat)
+        print(f"  fused (warm)    : {model['fused_warm_s']:.3f} s")
+        print(f"  analytical      : {model['analytical_warm_s']:.3f} s")
+        print(f"  speedup         : {model['speedup']:.2f}x")
+        print(f"  max miss error  : {model['max_abs_miss_ratio_error']}")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -681,6 +872,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "model":
+        return _cmd_model(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "bench":

@@ -47,7 +47,7 @@ from ..trace.record import TraceCache
 from .runner import (ResultCache, RunStats, Sweep, _compute_point_pooled,
                      _resolve_via_traces, _shutdown_pool, _worker_pool,
                      default_cache)
-from .spec import GridPoint, SweepSpec
+from .spec import GridPoint, SweepSpec, point_cache_key
 
 __all__ = ["SweepSession", "SessionResult", "SessionJournal",
            "run_sweep", "QuarantinedPointError", "default_session_dir",
@@ -308,11 +308,13 @@ class SessionResult:
         return not self.quarantined
 
     def summary(self) -> str:
-        """One-line progress digest (the CLI's closing line)."""
+        """One-line progress digest (the CLI's closing line), reporting
+        how many points each resolution tier settled."""
         get = self.counters.get
         return (f"points: {int(get('total', 0))} total -- "
                 f"{int(get('computed', 0))} computed, "
                 f"{int(get('replayed', 0))} replayed, "
+                f"{int(get('analytical', 0))} analytical, "
                 f"{int(get('cached', 0))} cached, "
                 f"{int(get('journaled', 0))} journaled, "
                 f"{int(get('retried', 0))} retries, "
@@ -323,7 +325,9 @@ class SweepSession:
     """Drive one :class:`SweepSpec` to completion, fault-tolerantly.
 
     Resolution order per point: journal (on resume) -> result cache ->
-    trace/fused replay -> supervised simulation.  Every completion is
+    analytical surrogate (``fidelity="analytical"``) -> trace/fused
+    replay (skipped by ``fidelity="full"``) -> supervised simulation.
+    Every completion is
     journaled immediately, so killing the process at any moment loses
     at most the points currently in flight.
     """
@@ -428,8 +432,15 @@ class SweepSession:
             else:
                 missing.append(point)
 
-        # Stage 2: record-once/replay-everywhere and the fused ladder.
-        if missing:
+        # Stage 1.5: the analytical surrogate (fidelity="analytical"):
+        # one row profile prices every rung; rows the model cannot
+        # profile fall through to the exact tiers below.
+        if missing and spec.fidelity == "analytical":
+            missing = self._resolve_analytically(missing, sweep)
+
+        # Stage 2: record-once/replay-everywhere and the fused ladder
+        # (fidelity="full" insists on per-point simulation instead).
+        if missing and spec.fidelity != "full":
             before = set(sweep)
             missing = _resolve_via_traces(
                 spec.benchmark, spec.profile, self._configs, missing,
@@ -450,6 +461,96 @@ class SweepSession:
         return SessionResult(spec=spec, sweep=sweep,
                              quarantined=quarantined,
                              counters=self.counters)
+
+    def _resolve_analytically(self, missing: List[GridPoint],
+                              sweep) -> List[GridPoint]:
+        """Stage 1.5: price whole rows from one recorded tape each.
+
+        Per row (processor count): find or build the
+        :class:`~repro.model.profile.RowProfile` -- the profile cache
+        first (a warm sweep never touches the tape, let alone the
+        simulator), then the trace cache, then one recording simulation
+        of the row's smallest rung -- and predict every missing point
+        from it with :func:`~repro.model.predictor.predict_point`.
+        Rows without a recordable packed stream are returned for the
+        exact tiers.  Predictions are cached and journaled like any
+        other resolution, but under the spec's analytical point keys,
+        so they can never be served for a full-fidelity request.
+        """
+        from ..model.predictor import predict_point
+        from ..model.profile import ProfileCache, build_row_profile
+        from ..trace.record import StreamRecorder
+        from .runner import _simulate
+        spec = self.spec
+        by_row: Dict[int, List[GridPoint]] = {}
+        for point in missing:
+            by_row.setdefault(point[0], []).append(point)
+        profile_cache = (
+            ProfileCache(Path(self.trace_cache.directory) / "profiles")
+            if self.trace_cache is not None else None)
+        remainder: List[GridPoint] = []
+        for procs, row_points in sorted(by_row.items()):
+            row_points = sorted(row_points)
+            config0 = self._configs[(procs, min(spec.ladder))]
+            tracked = tuple(sorted({
+                self._configs[(procs, paper_bytes)].scc_lines
+                for paper_bytes in spec.ladder}))
+            workload = spec.profile.workload(spec.benchmark)
+            signature = workload.trace_signature(config0)
+            if signature is None:
+                remainder.extend(row_points)
+                continue
+            if workload.stream_is_deterministic(config0):
+                # Same tape a fused/full sweep records: share its key.
+                tape_key = signature
+            else:
+                # Interleave depends on the machine; the tape is still
+                # deterministic *given* the recording configuration.
+                tape_key = f"model|scc={config0.scc_size}|{signature}"
+            profile_key = (
+                f"{tape_key}|line={config0.line_size}"
+                f"|clusters={config0.clusters}"
+                f"|procs={config0.processors_per_cluster}"
+                f"|icache={config0.icache_size}"
+                f"/{config0.icache_line_size}"
+                f"|model_icache={config0.model_icache}"
+                f"|tracked={','.join(str(count) for count in tracked)}")
+            row_profile = (profile_cache.get(profile_key)
+                           if profile_cache is not None else None)
+            if row_profile is None:
+                streams = (self.trace_cache.get(tape_key)
+                           if self.trace_cache is not None else None)
+                if streams is None:
+                    recorder = StreamRecorder(workload)
+                    stats0 = _simulate(recorder, config0, False)
+                    streams = recorder.streams
+                    if streams is None:
+                        remainder.extend(row_points)
+                        continue
+                    if self.trace_cache is not None:
+                        self.trace_cache.put(tape_key, streams)
+                    if self.cache is not None:
+                        # The recording pass was a real simulation of
+                        # the smallest rung; bank it under its
+                        # *full-fidelity* key (it is exact, not a
+                        # prediction; the analytical entry for that
+                        # rung is still the model's own output).
+                        self.cache.put(
+                            point_cache_key(spec.benchmark, spec.profile,
+                                            config0, False),
+                            stats0)
+                row_profile = build_row_profile(streams, config0, tracked)
+                if profile_cache is not None:
+                    profile_cache.put(profile_key, row_profile)
+            for point in row_points:
+                stats = predict_point(row_profile, self._configs[point],
+                                      benchmark=spec.benchmark)
+                if self.cache is not None:
+                    self.cache.put(spec.point_key(self._configs[point]),
+                                   stats)
+                sweep[point] = stats
+                self._settle(point, "analytical", stats)
+        return remainder
 
     def _heal_cache(self, point: GridPoint, stats: RunStats) -> None:
         """Re-seed the result cache from the journal if the crash took

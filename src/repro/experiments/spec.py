@@ -31,7 +31,8 @@ from ..workloads.multiprog import MultiprogrammingWorkload
 
 __all__ = ["ExperimentProfile", "PROFILES", "active_profile",
            "PAPER_LADDER", "PROCS_SWEPT", "KNOWN_BENCHMARKS",
-           "SWEEP_KINDS", "point_cache_key", "SweepSpec", "GridPoint"]
+           "SWEEP_KINDS", "FIDELITIES", "point_cache_key", "SweepSpec",
+           "GridPoint"]
 
 PAPER_LADDER: Tuple[int, ...] = tuple(
     kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
@@ -44,6 +45,12 @@ KNOWN_BENCHMARKS: Tuple[str, ...] = ("barnes-hut", "mp3d", "cholesky",
 
 SWEEP_KINDS: Tuple[str, ...] = ("parallel", "multiprogramming",
                                 "miss-surface")
+
+FIDELITIES: Tuple[str, ...] = ("analytical", "fused", "full")
+"""Resolution tiers for a sweep: ``analytical`` prices every point from
+one recorded tape per row via :mod:`repro.model` (no simulation),
+``fused`` (the default) allows the exact trace/fused-replay engines,
+``full`` forces per-point simulation."""
 
 CACHE_VERSION = 4
 """Bump to invalidate cached results after simulator changes.
@@ -187,6 +194,13 @@ class SweepSpec:
     fused: bool = True
     """Allow the one-pass multi-configuration ladder engine."""
 
+    fidelity: str = "fused"
+    """Resolution tier (see :data:`FIDELITIES`).  ``analytical`` is part
+    of the spec's *identity* -- its results are model outputs, cached
+    under distinct keys, and never interchangeable with simulated ones
+    -- while ``fused`` vs ``full`` only changes how the same exact
+    results are obtained."""
+
     jobs: Optional[int] = None
     """Worker processes for uncached points (``None``/1 = serial)."""
 
@@ -230,6 +244,15 @@ class SweepSpec:
             _require(len(self.procs) == 1,
                      "miss-surface sweeps analyse exactly one row; "
                      "pass procs=(n,)")
+        _require(self.fidelity in FIDELITIES,
+                 f"fidelity must be one of {FIDELITIES}")
+        if self.fidelity == "analytical":
+            _require(not self.instrument,
+                     "analytical results carry no observability digest; "
+                     "pass instrument=False")
+            _require(self.kind != "miss-surface",
+                     "miss-surface sweeps are already content-only "
+                     "analyses; fidelity does not apply")
         _require(self.jobs is None or self.jobs >= 1,
                  "jobs must be None or >= 1")
         _require(self.max_attempts >= 1, "max_attempts must be >= 1")
@@ -280,12 +303,15 @@ class SweepSpec:
         """Build a spec from the ``repro sweep`` argparse namespace."""
         profile = (PROFILES[args.profile] if args.profile
                    else active_profile())
+        fidelity = getattr(args, "fidelity", None) or "fused"
         knobs = dict(
             profile=profile,
             ladder=tuple(args.ladder) if args.ladder else None,
             procs=(tuple(args.procs) if args.procs else PROCS_SWEPT),
-            instrument=not args.no_instrument,
-            fused=not args.no_fused,
+            instrument=(not args.no_instrument
+                        and fidelity != "analytical"),
+            fused=not args.no_fused and fidelity != "full",
+            fidelity=fidelity,
             jobs=args.jobs,
             max_attempts=args.retries + 1,
             point_timeout=args.timeout,
@@ -325,14 +351,28 @@ class SweepSpec:
         }
 
     def point_key(self, config: SystemConfig) -> str:
-        """The result-cache key of one of this sweep's points."""
-        return point_cache_key(self.benchmark, self.profile, config,
-                               self.instrument)
+        """The result-cache key of one of this sweep's points.
+
+        Analytical points get a distinct, model-versioned key suffix:
+        their payloads are predictions, so they must never be served
+        for (or shadow) a full-fidelity request, and a model change
+        must invalidate them without touching simulated entries.
+        """
+        key = point_cache_key(self.benchmark, self.profile, config,
+                              self.instrument)
+        if self.fidelity == "analytical":
+            from ..model.profile import MODEL_VERSION
+            key += f"|fidelity=analytical|model=v{MODEL_VERSION}"
+        return key
 
     def describe(self) -> Dict[str, object]:
         """JSON-safe identity payload (the fields that determine the
-        results bit-for-bit; execution knobs are deliberately absent)."""
-        return {
+        results bit-for-bit; execution knobs are deliberately absent).
+
+        ``fidelity`` appears only for analytical sweeps: fused and full
+        produce bit-identical results, so they share a signature (and
+        existing journals stay valid)."""
+        payload = {
             "kind": self.kind,
             "benchmark": self.benchmark,
             "profile": asdict(self.profile),
@@ -340,6 +380,9 @@ class SweepSpec:
             "procs": list(self.procs),
             "instrument": self.instrument,
         }
+        if self.fidelity == "analytical":
+            payload["fidelity"] = "analytical"
+        return payload
 
     def signature(self) -> str:
         """Stable digest of :meth:`describe`; keys the session journal

@@ -41,11 +41,11 @@ def _table(output: str) -> str:
 def _summary_counts(output: str) -> dict:
     match = re.search(
         r"points: (\d+) total -- (\d+) computed, (\d+) replayed, "
-        r"(\d+) cached, (\d+) journaled, (\d+) retries, "
-        r"(\d+) quarantined", output)
+        r"(\d+) analytical, (\d+) cached, (\d+) journaled, "
+        r"(\d+) retries, (\d+) quarantined", output)
     assert match, f"no summary line in output:\n{output}"
-    keys = ("total", "computed", "replayed", "cached", "journaled",
-            "retries", "quarantined")
+    keys = ("total", "computed", "replayed", "analytical", "cached",
+            "journaled", "retries", "quarantined")
     return dict(zip(keys, map(int, match.groups())))
 
 

@@ -3,9 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.trace.analysis import (data_lines, miss_ratio_curve,
+from repro.trace.analysis import (DistanceHistogram, data_lines,
+                                  distance_histogram, miss_ratio_curve,
                                   stack_distances, working_set_lines)
 from repro.trace.events import Compute, Read, Write
+from repro.trace.packed import (OP_COMPUTE, OP_READ, OP_READ_SPAN,
+                                OP_WRITE_SPAN, PackedChunk, encode_events)
 
 
 def reads(addresses):
@@ -106,6 +109,77 @@ class TestMissRatioCurve:
             stack.insert(0, line)
         assert curve[cache_lines * 16] == pytest.approx(
             misses / len(lines))
+
+
+class TestPackedSources:
+    """The packed fast paths must agree exactly with the event paths."""
+
+    def test_raw_array_and_chunk_match_events(self):
+        events = [Read(0), Write(16), Compute(3), Read(0), Read(48)]
+        packed = encode_events(events)
+        assert data_lines(packed) == data_lines(events)
+        assert data_lines(PackedChunk(packed)) == data_lines(events)
+        assert stack_distances(packed) == stack_distances(events)
+
+    def test_chunks_inside_event_iterables(self):
+        head = [Read(0), Read(16)]
+        tail = [Write(16), Read(32)]
+        mixed = head + [PackedChunk(encode_events(tail))]
+        assert data_lines(mixed) == data_lines(head + tail)
+
+    def test_span_opcodes_expand(self):
+        from array import array
+        data = array("q", [OP_READ_SPAN, 0, 64, 16,
+                           OP_WRITE_SPAN, 0, 32, 16,
+                           OP_COMPUTE, 9,
+                           OP_READ, 160])
+        assert data_lines(data) == [0, 1, 2, 3, 0, 1, 10]
+
+    def test_unknown_opcode_rejected(self):
+        from array import array
+        with pytest.raises(ValueError):
+            data_lines(array("q", [99, 0]))
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 40)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_packed_path_equivalence(self, refs):
+        events = [Write(line * 16) if is_write else Read(line * 16)
+                  for is_write, line in refs]
+        packed = encode_events(events)
+        assert data_lines(packed) == data_lines(events)
+        assert stack_distances(packed) == stack_distances(events)
+
+
+class TestDistanceHistogram:
+    """One pass over the tape serves every downstream analysis."""
+
+    def test_shared_histogram_matches_per_call_results(self):
+        events = reads([i * 16 for i in range(20)] * 3 + [0, 0, 16])
+        histogram = distance_histogram(events)
+        assert isinstance(histogram, DistanceHistogram)
+        sizes = (64, 256, 1024)
+        assert (miss_ratio_curve(histogram, sizes)
+                == miss_ratio_curve(events, sizes))
+        assert (working_set_lines(histogram, fraction=0.9)
+                == working_set_lines(events, fraction=0.9))
+
+    def test_counts(self):
+        histogram = distance_histogram(reads([0, 16, 0, 16]))
+        assert histogram.cold == 2
+        assert histogram.total == 4
+        assert histogram.miss_count(1) == 4      # distance 1 >= 1 line
+        assert histogram.miss_count(2) == 2
+        assert histogram.miss_ratio(2) == pytest.approx(0.5)
+
+    def test_empty_and_bad_inputs(self):
+        empty = distance_histogram([Compute(1)])
+        with pytest.raises(ValueError):
+            empty.miss_ratio(4)
+        with pytest.raises(ValueError):
+            empty.working_set_lines()
+        with pytest.raises(ValueError):
+            distance_histogram(reads([0])).miss_count(0)
 
 
 class TestWorkingSet:
