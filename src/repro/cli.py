@@ -47,6 +47,7 @@ from typing import List, Optional
 from .core.config import KB, SystemConfig
 from .experiments.spec import KNOWN_BENCHMARKS
 from .simulation import run_simulation
+from .trace.engine import BACKEND_CHOICES
 
 __all__ = ["main"]
 
@@ -173,6 +174,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(repro.model, no simulation), fused allows "
                             "the exact replay engines (default), full "
                             "forces per-point simulation")
+    sweep.add_argument("--backend", default=None,
+                       choices=BACKEND_CHOICES,
+                       help="packed-replay engine for simulated points "
+                            "(execution knob: results and caches are "
+                            "backend-independent; default: $REPRO_ENGINE, "
+                            "then auto)")
     sweep.add_argument("--resume", action="store_true",
                        help="resume this sweep from its session journal, "
                             "recomputing only points not yet completed")
@@ -231,14 +238,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="also write the measurements as JSON")
     bench.add_argument("--scenario", default="all",
-                       choices=("all", "point", "sweep", "fused",
-                                "analytical"),
+                       choices=("all", "point", "packed", "sweep",
+                                "fused", "analytical"),
                        help="point: one quick Barnes-Hut configuration; "
-                            "sweep: a Figure-5-style grid; fused: the "
-                            "one-pass multi-configuration ladder vs "
-                            "per-size replay; analytical: the "
+                            "packed: a cache-resident uniprocessor "
+                            "replay timed on every available engine "
+                            "backend; sweep: a Figure-5-style grid; "
+                            "fused: the one-pass multi-configuration "
+                            "ladder vs per-size replay; analytical: the "
                             "repro.model surrogate vs the fused ladder "
                             "(default: all)")
+    bench.add_argument("--backend", default=None,
+                       choices=BACKEND_CHOICES,
+                       help="replay engine for the simulated scenarios "
+                            "(default: $REPRO_ENGINE, then auto)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differentially fuzz the three timing engines "
@@ -547,10 +560,11 @@ def _cmd_model(args) -> int:
     return 0
 
 
-def _bench_point(repeat: int) -> dict:
+def _bench_point(repeat: int, backend: Optional[str] = None) -> dict:
     """Quick Barnes-Hut on the paper's 8x8 machine: packed fast path vs
     the event-object generator path (identical statistics, same events)."""
     import time
+    from .trace.engine import resolve_backend
     from .workloads.barnes_hut import BarnesHut
     config = SystemConfig.paper_parallel(8, 8 * KB)
     timings = {True: [], False: []}
@@ -560,7 +574,7 @@ def _bench_point(repeat: int) -> dict:
             workload = BarnesHut(n_bodies=192, steps=2)
             workload.packed = packed
             begin = time.perf_counter()
-            result = run_simulation(config, workload)
+            result = run_simulation(config, workload, backend=backend)
             timings[packed].append(time.perf_counter() - begin)
             if events is None:
                 events = result.events_processed
@@ -569,6 +583,7 @@ def _bench_point(repeat: int) -> dict:
     return {
         "workload": "BarnesHut(n_bodies=192, steps=2)",
         "config": "paper_parallel(procs_per_cluster=8, scc=8KB)",
+        "backend": resolve_backend(backend),
         "events": events,
         "packed_s": round(packed_s, 4),
         "generator_s": round(generator_s, 4),
@@ -576,6 +591,85 @@ def _bench_point(repeat: int) -> dict:
         "packed_events_per_s": int(events / packed_s),
         "repeats": repeat,
     }
+
+
+def _packed_replay_stream():
+    """A cache-resident uniprocessor loop in the packed encoding.
+
+    The working set (8KB data, 8KB of instruction addresses) fits the
+    16KB SCC after one cold pass, so replay is dominated by the hit
+    path every engine optimizes -- the same regime as the warm inner
+    rungs of a sweep.  Built once and replayed as a single chunk per
+    run, which is exactly how :class:`~repro.trace.record
+    .ReplayApplication` delivers recorded sweeps.
+    """
+    from array import array
+    from .trace.packed import (OP_COMPUTE, OP_IFETCH, OP_READ, OP_WRITE)
+    stream = array("q")
+    lines = 8 * KB // 32
+    for _ in range(200):
+        for line_no in range(lines):
+            addr = line_no * 32
+            stream.extend((OP_IFETCH, (addr * 4) % (8 * KB), 4))
+            stream.extend((OP_READ, addr))
+            if line_no % 8 == 0:
+                stream.extend((OP_WRITE, addr))
+            if line_no % 4 == 0:
+                stream.extend((OP_COMPUTE, 2))
+    return stream
+
+
+def _bench_packed(repeat: int) -> dict:
+    """The packed replay engine ladder on one tape.
+
+    Times the same single-processor replay on every available backend
+    (python reference loop, numpy vector tier, native C tier) and
+    cross-checks that all of them produce bit-identical statistics.
+    ``speedup`` entries are relative to the python loop.
+
+    One untimed warmup replay precedes the timed repeats: sweeps
+    replay each recorded tape once per ladder rung, so the number that
+    matters is the steady-state rate with the numpy tier's per-stream
+    decode cache warm, not the first-touch decode cost.
+    """
+    import time
+    from .trace.engine import available_backends
+    from .trace.record import ReplayApplication
+    config = SystemConfig.paper_multiprogramming(1, scc_size=16 * KB)
+    stream = _packed_replay_stream()
+    app = ReplayApplication({0: stream}, name="bench-packed")
+    backends = available_backends()
+    if "python" not in backends:
+        backends.append("python")
+    rates = {}
+    reference = None
+    for name in backends:
+        best = None
+        run_simulation(config, app, backend=name)  # warmup (decode cache)
+        for _ in range(max(1, repeat)):
+            begin = time.perf_counter()
+            result = run_simulation(config, app, backend=name)
+            elapsed = time.perf_counter() - begin
+            best = elapsed if best is None else min(best, elapsed)
+        if reference is None:
+            reference = result
+        elif (result.stats.as_dict() != reference.stats.as_dict()
+                or result.events_processed != reference.events_processed):
+            raise AssertionError(
+                f"backend {name} diverges from {backends[0]}")
+        rates[name] = result.events_processed / best
+    report = {
+        "workload": "synthetic cache-resident replay "
+                    "(1 processor, 16KB SCC, one packed chunk)",
+        "events": reference.events_processed,
+        "repeats": repeat,
+    }
+    python_rate = rates["python"]
+    for name, rate in rates.items():
+        report[f"{name}_events_per_s"] = int(rate)
+        if name != "python":
+            report[f"{name}_speedup"] = round(rate / python_rate, 2)
+    return report
 
 
 def _bench_sweep(repeat: int) -> dict:
@@ -775,20 +869,36 @@ def _cmd_bench(args) -> int:
     import json
     import platform
     import time
+    from .trace.engine import backend_info
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "engine": backend_info(args.backend),
     }
     if args.scenario in ("all", "point"):
         print("timing quick Barnes-Hut point "
               "(packed vs event-object path)...")
-        report["quick_barnes_hut"] = point = _bench_point(args.repeat)
+        report["quick_barnes_hut"] = point = _bench_point(args.repeat,
+                                                          args.backend)
         print(f"  events          : {point['events']:,}")
+        print(f"  backend         : {point['backend']}")
         print(f"  packed          : {point['packed_s']:.3f} s "
               f"({point['packed_events_per_s']:,} events/s)")
         print(f"  event objects   : {point['generator_s']:.3f} s")
         print(f"  speedup         : {point['speedup']:.2f}x")
+    if args.scenario in ("all", "packed"):
+        print("timing packed replay engines "
+              "(python vs numpy vs native on one tape)...")
+        report["packed_engines"] = packed = _bench_packed(args.repeat)
+        print(f"  events          : {packed['events']:,}")
+        for name in ("python", "numpy", "native"):
+            rate = packed.get(f"{name}_events_per_s")
+            if rate is None:
+                continue
+            extra = (f" ({packed[f'{name}_speedup']:.1f}x)"
+                     if name != "python" else "")
+            print(f"  {name:<16}: {rate:,} events/s{extra}")
     if args.scenario in ("all", "sweep"):
         print("timing multiprogramming sweep "
               "(trace-cached vs instrumented resimulation)...")

@@ -20,6 +20,7 @@ snoopy write-invalidate protocol of Section 2.2.2 needs:
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, List, Optional, Tuple
 
 __all__ = ["INVALID", "SHARED", "MODIFIED", "EXCLUSIVE", "STATE_NAMES",
@@ -49,8 +50,13 @@ class DirectMappedArray:
         if num_lines < 1:
             raise ValueError("cache must hold at least one line")
         self.num_lines = num_lines
-        self._tags = [0] * num_lines
-        self._states = [INVALID] * num_lines
+        # ``array('q')`` rather than plain lists: the storage supports the
+        # buffer protocol, so the numpy and native replay backends
+        # (:mod:`repro.trace.engine`) can operate on the very same memory
+        # (zero-copy ``np.frombuffer`` views / raw ``int64_t*`` pointers)
+        # while the python paths keep indexing it unchanged.
+        self._tags = array("q", bytes(8 * num_lines))
+        self._states = array("q", bytes(8 * num_lines))
         # Power-of-two line counts (every paper configuration) replace the
         # divmod in index/tag extraction with a mask and a shift.
         if num_lines & (num_lines - 1) == 0 and num_lines > 1:

@@ -17,6 +17,7 @@ full, which :meth:`BankInterconnect.reserve_write_slot` models.
 from __future__ import annotations
 
 import heapq
+from array import array
 from typing import List, Tuple
 
 from ..instrument.probes import NULL_PROBE
@@ -43,7 +44,9 @@ class BankInterconnect:
         self.num_banks = num_banks
         self.bank_cycle_time = bank_cycle_time
         self.write_buffer_depth = write_buffer_depth
-        self._bank_free: List[int] = [0] * num_banks
+        # ``array('q')`` so the compiled replay backends can address the
+        # bank-free table through the buffer protocol (see repro.trace.engine).
+        self._bank_free = array("q", bytes(8 * num_banks))
         # Min-heaps of retire times for stores still draining, per bank.
         self._write_buffers: List[List[int]] = [[] for _ in range(num_banks)]
         self.conflict_cycles = 0

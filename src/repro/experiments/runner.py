@@ -181,19 +181,21 @@ def _stats_from_result(result, probe=None) -> RunStats:
     )
 
 
-def _simulate(application, config: SystemConfig,
-              instrument: bool) -> RunStats:
+def _simulate(application, config: SystemConfig, instrument: bool,
+              backend: Optional[str] = None) -> RunStats:
     """One simulation of any workload object, reduced to RunStats."""
     probe = (InstrumentationProbe(bin_width=INSTRUMENT_BIN_WIDTH,
                                   record_events=False)
              if instrument else None)
-    result = run_simulation(config, application, instrumentation=probe)
+    result = run_simulation(config, application, instrumentation=probe,
+                            backend=backend)
     return _stats_from_result(result, probe)
 
 
 def _compute_point(benchmark: str, profile: ExperimentProfile,
                    config: SystemConfig,
-                   instrument: bool = True) -> RunStats:
+                   instrument: bool = True,
+                   backend: Optional[str] = None) -> RunStats:
     """Actually simulate one configuration (no cache involved).
 
     Module-level (not nested) so ``ProcessPoolExecutor`` can pickle it
@@ -204,7 +206,8 @@ def _compute_point(benchmark: str, profile: ExperimentProfile,
     attached probe forces the event-at-a-time path), which is what the
     benchmark harness measures.
     """
-    return _simulate(profile.workload(benchmark), config, instrument)
+    return _simulate(profile.workload(benchmark), config, instrument,
+                     backend)
 
 
 # ----------------------------------------------------------------------
@@ -226,14 +229,15 @@ removes the per-point workload setup from parallel sweeps.
 
 def _compute_point_pooled(benchmark: str, profile: ExperimentProfile,
                           config: SystemConfig,
-                          instrument: bool = True) -> RunStats:
+                          instrument: bool = True,
+                          backend: Optional[str] = None) -> RunStats:
     """`_compute_point` with a warm per-worker workload object."""
     key = (benchmark, profile)
     workload = _WORKER_WORKLOADS.get(key)
     if workload is None:
         workload = profile.workload(benchmark)
         _WORKER_WORKLOADS[key] = workload
-    return _simulate(workload, config, instrument)
+    return _simulate(workload, config, instrument, backend)
 
 
 def _pool_worker_init() -> None:
@@ -368,7 +372,8 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
                         cache: Optional[ResultCache],
                         instrument: bool,
                         trace_cache: Optional[TraceCache],
-                        fused: bool = True) -> List[GridPoint]:
+                        fused: bool = True,
+                        backend: Optional[str] = None) -> List[GridPoint]:
     """Record-once/replay-everywhere for the grid rows that allow it.
 
     A row is all missing points with the same processor count (the
@@ -407,7 +412,7 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
             point = row_points.pop(0)
             recorder = StreamRecorder(profile.workload(benchmark))
             resolved[point] = _simulate(recorder, configs[point],
-                                        instrument)
+                                        instrument, backend)
             streams = recorder.streams
             if streams is not None:
                 tcache.put(signature, streams)
@@ -425,7 +430,8 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
                 continue
         for point in row_points:
             replay = ReplayApplication(streams, name=benchmark)
-            resolved[point] = _simulate(replay, configs[point], instrument)
+            resolved[point] = _simulate(replay, configs[point],
+                                        instrument, backend)
     for point, stats in resolved.items():
         if cache is not None:
             cache.put(_stats_key(benchmark, profile, configs[point],

@@ -187,11 +187,12 @@ def _maybe_inject_fault(point: GridPoint) -> None:
 
 
 def _point_task(benchmark, profile, config, instrument,
-                point: GridPoint) -> RunStats:
+                point: GridPoint, backend=None) -> RunStats:
     """One supervised point simulation (module-level so the worker pool
     can pickle it; fault injection reads the inherited environment)."""
     _maybe_inject_fault(point)
-    return _compute_point_pooled(benchmark, profile, config, instrument)
+    return _compute_point_pooled(benchmark, profile, config, instrument,
+                                 backend)
 
 
 class SessionJournal:
@@ -445,7 +446,7 @@ class SweepSession:
             missing = _resolve_via_traces(
                 spec.benchmark, spec.profile, self._configs, missing,
                 sweep, self.cache, spec.instrument, self.trace_cache,
-                spec.fused)
+                spec.fused, spec.backend)
             for point in sorted(set(sweep) - before):
                 self._settle(point, "replayed", sweep[point])
 
@@ -522,7 +523,8 @@ class SweepSession:
                            if self.trace_cache is not None else None)
                 if streams is None:
                     recorder = StreamRecorder(workload)
-                    stats0 = _simulate(recorder, config0, False)
+                    stats0 = _simulate(recorder, config0, False,
+                                       spec.backend)
                     streams = recorder.streams
                     if streams is None:
                         remainder.extend(row_points)
@@ -604,7 +606,8 @@ class SweepSession:
                 try:
                     stats = self._compute(spec.benchmark, spec.profile,
                                           self._configs[point],
-                                          spec.instrument, point)
+                                          spec.instrument, point,
+                                          spec.backend)
                 except Exception as exc:
                     if self._record_failure(point, attempts, exc,
                                             quarantined):
@@ -642,7 +645,8 @@ class SweepSession:
                 attempts[point] += 1
                 future = pool.submit(
                     self._compute, spec.benchmark, spec.profile,
-                    self._configs[point], spec.instrument, point)
+                    self._configs[point], spec.instrument, point,
+                    spec.backend)
                 inflight[future] = point
                 if spec.point_timeout is not None:
                     deadlines[future] = now + spec.point_timeout
@@ -724,7 +728,7 @@ def _run_miss_surface(spec: SweepSpec,
         streams = trace_cache.get(signature)
     if streams is None:
         recorder = StreamRecorder(workload)
-        run_simulation(config, recorder)
+        run_simulation(config, recorder, backend=spec.backend)
         streams = recorder.streams
         if streams is None:
             raise ValueError(

@@ -201,6 +201,14 @@ class SweepSpec:
     -- while ``fused`` vs ``full`` only changes how the same exact
     results are obtained."""
 
+    backend: Optional[str] = None
+    """Packed-replay engine for simulated points (``auto``/``python``/
+    ``numpy``/``native``; see :mod:`repro.trace.engine`).  Execution
+    knob only: every backend produces bit-identical statistics, so it is
+    deliberately absent from :meth:`describe`, :meth:`signature` and
+    :meth:`point_key` -- switching engines never invalidates a journal
+    or the result cache.  ``None`` defers to ``$REPRO_ENGINE``."""
+
     jobs: Optional[int] = None
     """Worker processes for uncached points (``None``/1 = serial)."""
 
@@ -253,6 +261,10 @@ class SweepSpec:
             _require(self.kind != "miss-surface",
                      "miss-surface sweeps are already content-only "
                      "analyses; fidelity does not apply")
+        if self.backend is not None:
+            from ..trace.engine import BACKEND_CHOICES
+            _require(self.backend in BACKEND_CHOICES,
+                     f"backend must be one of {BACKEND_CHOICES}")
         _require(self.jobs is None or self.jobs >= 1,
                  "jobs must be None or >= 1")
         _require(self.max_attempts >= 1, "max_attempts must be >= 1")
@@ -312,6 +324,7 @@ class SweepSpec:
                         and fidelity != "analytical"),
             fused=not args.no_fused and fidelity != "full",
             fidelity=fidelity,
+            backend=getattr(args, "backend", None),
             jobs=args.jobs,
             max_attempts=args.retries + 1,
             point_timeout=args.timeout,

@@ -84,7 +84,8 @@ class SimulationResult:
 def run_simulation(config: SystemConfig, application,
                    max_cycles: Optional[int] = None,
                    check_invariants: bool = True,
-                   instrumentation=None) -> SimulationResult:
+                   instrumentation=None,
+                   backend: Optional[str] = None) -> SimulationResult:
     """Simulate ``application`` on the machine described by ``config``.
 
     ``application.processes(config)`` must return a mapping from
@@ -99,9 +100,15 @@ def run_simulation(config: SystemConfig, application,
     timelines; the same object is finalized with the run's horizon and
     returned on the result.  The default ``None`` costs the hot paths
     one pointer comparison per event.
+
+    ``backend`` picks the packed-replay engine (``auto``/``python``/
+    ``numpy``/``native``; see :mod:`repro.trace.engine`).  It is an
+    execution knob, not part of the machine: every backend produces
+    identical statistics, so results and caches never depend on it.
+    ``None`` defers to ``$REPRO_ENGINE``.
     """
     system = build_system(config, instrumentation=instrumentation)
-    interleaver = TimingInterleaver(system)
+    interleaver = TimingInterleaver(system, backend=backend)
     process_map = application.processes(config)
     for proc_id, generator in process_map.items():
         interleaver.add_process(proc_id, generator)

@@ -1,0 +1,131 @@
+"""Selectable multi-backend for packed replay.
+
+The :class:`~repro.trace.interleave.TimingInterleaver` fast path has three
+interchangeable implementations ("backends", psim's ``EVAL_MODE`` pattern):
+
+* ``python`` -- the inline ``_run_fast`` loop in
+  :mod:`repro.trace.interleave`.  Always available; the semantic reference.
+* ``numpy`` -- :mod:`repro.trace.engine.numpy_backend`.  Batch-decodes
+  packed chunks into flat opcode/address arrays
+  (:mod:`repro.trace.engine.flatten`) and vectorizes whole quiet runs of
+  hits between coherence/sync events for single-processor replay.
+* ``native`` -- :mod:`repro.trace.engine.native`.  A C extension
+  (``_native.c``) running the full interleaver inner loop over the shared
+  ``array('q')`` tag/state/bank storage, calling back into python only for
+  misses, instruction-cache refills, and synchronization.
+
+Selection: the ``backend=`` knob on ``TimingInterleaver`` /
+``run_simulation`` / ``SweepSpec`` wins; otherwise the ``REPRO_ENGINE``
+environment variable; otherwise ``auto``, which probes native -> numpy ->
+python.  Requests degrade gracefully (a missing compiler or numpy falls
+back down the ladder) unless ``strict=True``.
+
+Every backend must be fingerprint-identical to the python loop; the
+differential verifier (:mod:`repro.verify.differ`) runs all importable
+backends as additional engines over the golden suites and the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+__all__ = ["BACKEND_CHOICES", "ENGINE_ENV", "available_backends",
+           "backend_info", "native_available", "numpy_available",
+           "resolve_backend"]
+
+#: Accepted values for ``REPRO_ENGINE`` and every ``backend=`` knob.
+BACKEND_CHOICES = ("auto", "python", "numpy", "native")
+
+ENGINE_ENV = "REPRO_ENGINE"
+
+_numpy_ok: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy-vectorized tier can be used."""
+    global _numpy_ok
+    if _numpy_ok is None:
+        try:
+            import numpy  # noqa: F401
+            _numpy_ok = True
+        except Exception:  # pragma: no cover - numpy is a hard test dep
+            _numpy_ok = False
+    return _numpy_ok
+
+
+def native_available() -> bool:
+    """Whether the C extension imported (or built on demand)."""
+    from . import native
+    return native.load() is not None
+
+
+def native_unavailable_reason() -> Optional[str]:
+    """Why the native tier is missing (``None`` when it loaded)."""
+    from . import native
+    native.load()
+    return native.LOAD_ERROR
+
+
+def resolve_backend(request: Optional[str] = None,
+                    strict: bool = False) -> str:
+    """Concrete backend for a request.
+
+    ``None`` reads ``$REPRO_ENGINE`` (default ``auto``).  ``auto`` probes
+    native -> numpy -> python; explicit requests degrade down the same
+    ladder when their tier is unavailable, unless ``strict`` is set, in
+    which case a missing tier raises ``RuntimeError`` with the reason.
+    """
+    if request is None:
+        request = os.environ.get(ENGINE_ENV, "").strip() or "auto"
+    request = request.strip().lower()
+    if request not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown replay backend {request!r}; "
+            f"choose from {', '.join(BACKEND_CHOICES)}")
+    if request == "auto":
+        if native_available():
+            return "native"
+        return "numpy" if numpy_available() else "python"
+    if request == "native" and not native_available():
+        if strict:
+            raise RuntimeError(
+                f"native replay backend unavailable: "
+                f"{native_unavailable_reason()}")
+        return "numpy" if numpy_available() else "python"
+    if request == "numpy" and not numpy_available():
+        if strict:
+            raise RuntimeError("numpy replay backend unavailable")
+        return "python"
+    return request
+
+
+def available_backends() -> list:
+    """Concrete backends importable right now, fastest first."""
+    names = []
+    if native_available():
+        names.append("native")
+    if numpy_available():
+        names.append("numpy")
+    names.append("python")
+    return names
+
+
+def backend_info(request: Optional[str] = None) -> Dict[str, object]:
+    """Backend metadata for bench reports and diagnostics."""
+    from . import native
+    resolved = resolve_backend(request)
+    info: Dict[str, object] = {
+        "requested": request or os.environ.get(ENGINE_ENV, "").strip()
+        or "auto",
+        "resolved": resolved,
+        "available": available_backends(),
+    }
+    if numpy_available():
+        import numpy
+        info["numpy_version"] = numpy.__version__
+    if native_available():
+        info["native_version"] = native.NATIVE_VERSION
+    else:
+        info["native_error"] = native_unavailable_reason()
+    return info

@@ -1,0 +1,873 @@
+/* Packed-chunk drain loop for the repro timing interleaver.
+ *
+ * This is a transcription of the inner loop of
+ * ``TimingInterleaver._run_fast`` (src/repro/trace/interleave.py) into C
+ * over raw ``int64_t*`` views of the ``array('q')`` storage the python
+ * model already uses for cache tags/states and bank free times.  The
+ * python wrapper (engine/native.py) keeps the scheduler: heap switches,
+ * generator resumes and synchronization handlers happen in python, and
+ * coherence misses / icache refills call back into the python model.
+ * Everything here must stay observably identical to the python loop --
+ * the differential verifier diffs fingerprints and error messages.
+ *
+ * Protocol: ``setup(plan)`` parses the plan tuple into a context capsule
+ * with all buffers acquired once; ``drain(ctx, chunk)`` consumes events
+ * starting at the position in ``regs`` until the chunk is exhausted
+ * (returns 0), the process is preempted by the cached heap top
+ * (returns 1), or a synchronization / unknown opcode needs the python
+ * handler (returns 2, with ``regs`` pointing at the opcode);
+ * ``release(ctx)`` drops the buffer views deterministically.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define OP_READ 1
+#define OP_WRITE 2
+#define OP_COMPUTE 3
+#define OP_IFETCH 4
+#define OP_ENQUEUE 8
+#define OP_DEQUEUE 9
+#define OP_READ_SPAN 10
+#define OP_WRITE_SPAN 11
+
+#define ST_MODIFIED 2   /* repro.core.cache.MODIFIED */
+
+#define STATUS_EXHAUSTED 0
+#define STATUS_PREEMPT 1
+#define STATUS_SYNC 2
+
+static PyObject *g_deque = NULL;      /* collections.deque */
+static PyObject *s_append = NULL;
+static PyObject *s_popleft = NULL;
+static PyObject *s_complete = NULL;
+static PyObject *s_retire = NULL;
+
+typedef struct {
+    PyObject *plan;           /* strong ref; keeps every borrowed ptr alive */
+    int n_cl;
+    int nproc;
+    int released;
+    long long idx_mask, tag_shift, line_shift, nbanks, bank_cycle;
+    long long wb_depth, iline_shift, limit;
+    int stall_on_writes, icache_mode;
+    long long **cl_states, **cl_tags, **cl_bank_free;
+    PyObject **cl_inflight, **cl_scc, **cl_wbufs;
+    long long **ic_states, **ic_tags;
+    long long *ic_mask, *ic_shift;
+    long long *d_reads, *d_writes, *d_conf, *d_wbuf;
+    long long *d_refs, *d_busy, *d_stall, *d_finish, *d_icfetch, *misc;
+    long long *regs;          /* i, sub, time, next_time, pid, cl */
+    PyObject *read_miss, *write_line, *ifetch, *queues;
+    Py_buffer *views;
+    int nviews;
+} Ctx;
+
+static const char CTX_NAME[] = "repro.trace.engine._native.ctx";
+
+/* ---------------------------------------------------------------- utils */
+
+static long long *
+acquire_ll(Ctx *ctx, PyObject *obj)
+{
+    Py_buffer *view = &ctx->views[ctx->nviews];
+    if (PyObject_GetBuffer(obj, view, PyBUF_WRITABLE) < 0)
+        return NULL;
+    ctx->nviews++;
+    return (long long *)view->buf;
+}
+
+static int
+get_ll_item(PyObject *seq, Py_ssize_t i, long long *out)
+{
+    PyObject *obj = PySequence_GetItem(seq, i);
+    if (!obj)
+        return -1;
+    *out = PyLong_AsLongLong(obj);
+    Py_DECREF(obj);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* Write-buffer heaps are plain python lists of ints, shared with
+ * heapq-based python code.  Heap layout may differ from heapq's after
+ * mixed use, but the multiset of retire times and the min element --
+ * the only observable properties -- are identical. */
+
+static int
+wb_heappush(PyObject *heap, long long val)
+{
+    PyObject *obj = PyLong_FromLongLong(val);
+    if (!obj)
+        return -1;
+    if (PyList_Append(heap, obj) < 0) {
+        Py_DECREF(obj);
+        return -1;
+    }
+    Py_DECREF(obj);
+    Py_ssize_t pos = PyList_GET_SIZE(heap) - 1;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        long long pv = PyLong_AsLongLong(PyList_GET_ITEM(heap, parent));
+        if (pv == -1 && PyErr_Occurred())
+            return -1;
+        if (val >= pv)
+            break;
+        PyObject *a = PyList_GET_ITEM(heap, pos);
+        PyList_SET_ITEM(heap, pos, PyList_GET_ITEM(heap, parent));
+        PyList_SET_ITEM(heap, parent, a);
+        pos = parent;
+    }
+    return 0;
+}
+
+static long long
+wb_heappop(PyObject *heap, int *err)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    long long result = PyLong_AsLongLong(PyList_GET_ITEM(heap, 0));
+    if (result == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        *err = 1;
+        return 0;
+    }
+    if (n > 1) {
+        long long lv = PyLong_AsLongLong(last);
+        PyList_SetItem(heap, 0, last);  /* steals our ref, frees old root */
+        if (lv == -1 && PyErr_Occurred()) {
+            *err = 1;
+            return 0;
+        }
+        Py_ssize_t m = n - 1, pos = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * pos + 1;
+            if (child >= m)
+                break;
+            long long cv = PyLong_AsLongLong(PyList_GET_ITEM(heap, child));
+            if (cv == -1 && PyErr_Occurred()) {
+                *err = 1;
+                return 0;
+            }
+            if (child + 1 < m) {
+                long long cv2 =
+                    PyLong_AsLongLong(PyList_GET_ITEM(heap, child + 1));
+                if (cv2 == -1 && PyErr_Occurred()) {
+                    *err = 1;
+                    return 0;
+                }
+                if (cv2 < cv) {
+                    cv = cv2;
+                    child++;
+                }
+            }
+            if (cv >= lv)
+                break;
+            PyObject *a = PyList_GET_ITEM(heap, pos);
+            PyList_SET_ITEM(heap, pos, PyList_GET_ITEM(heap, child));
+            PyList_SET_ITEM(heap, child, a);
+            pos = child;
+        }
+    }
+    else {
+        Py_DECREF(last);
+    }
+    return result;
+}
+
+/* BankInterconnect.reserve_write_slot, minus the probe (the fast path
+ * guarantees NULL_PROBE) and minus write_stall_cycles, which the
+ * wrapper settles from d_wbuf at flush time. */
+static long long
+c_reserve(Ctx *ctx, long long cl, long long bank, long long now,
+          long long retire, int *err)
+{
+    PyObject *buf = PyList_GET_ITEM(ctx->cl_wbufs[cl], bank);
+    while (PyList_GET_SIZE(buf) > 0) {
+        long long top = PyLong_AsLongLong(PyList_GET_ITEM(buf, 0));
+        if (top == -1 && PyErr_Occurred()) {
+            *err = 1;
+            return 0;
+        }
+        if (top > now)
+            break;
+        wb_heappop(buf, err);
+        if (*err)
+            return 0;
+    }
+    long long stall = 0;
+    if (PyList_GET_SIZE(buf) >= ctx->wb_depth) {
+        long long oldest = wb_heappop(buf, err);
+        if (*err)
+            return 0;
+        stall = oldest - now;
+        if (stall < 0)
+            stall = 0;
+    }
+    long long push = now + stall;
+    if (retire > push)
+        push = retire;
+    if (wb_heappush(buf, push) < 0) {
+        *err = 1;
+        return 0;
+    }
+    return stall;
+}
+
+static long long
+inflight_done(PyObject *infl, long long line, long long start, int *err)
+{
+    if (PyDict_GET_SIZE(infl) == 0)
+        return start + 1;
+    PyObject *key = PyLong_FromLongLong(line);
+    if (!key) {
+        *err = 1;
+        return 0;
+    }
+    PyObject *val = PyDict_GetItemWithError(infl, key);
+    long long done = start + 1;
+    if (val) {
+        long long ready = PyLong_AsLongLong(val);
+        if (ready == -1 && PyErr_Occurred()) {
+            Py_DECREF(key);
+            *err = 1;
+            return 0;
+        }
+        if (ready <= start) {
+            if (PyDict_DelItem(infl, key) < 0) {
+                Py_DECREF(key);
+                *err = 1;
+                return 0;
+            }
+        }
+        else {
+            done = ready + 1;
+        }
+    }
+    else if (PyErr_Occurred()) {
+        Py_DECREF(key);
+        *err = 1;
+        return 0;
+    }
+    Py_DECREF(key);
+    return done;
+}
+
+static long long
+call_read_miss(Ctx *ctx, long long cl, long long line, long long start,
+               int *err)
+{
+    PyObject *pl = PyLong_FromLongLong(line);
+    PyObject *ps = pl ? PyLong_FromLongLong(start) : NULL;
+    if (!pl || !ps) {
+        Py_XDECREF(pl);
+        Py_XDECREF(ps);
+        *err = 1;
+        return 0;
+    }
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        ctx->read_miss, ctx->cl_scc[cl], pl, ps, NULL);
+    Py_DECREF(pl);
+    Py_DECREF(ps);
+    if (!res) {
+        *err = 1;
+        return 0;
+    }
+    long long v = PyLong_AsLongLong(res);
+    Py_DECREF(res);
+    if (v == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return v;
+}
+
+static int
+call_write_line(Ctx *ctx, long long cl, long long line, long long start,
+                long long *complete, long long *retire)
+{
+    PyObject *pl = PyLong_FromLongLong(line);
+    PyObject *ps = pl ? PyLong_FromLongLong(start) : NULL;
+    if (!pl || !ps) {
+        Py_XDECREF(pl);
+        Py_XDECREF(ps);
+        return -1;
+    }
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        ctx->write_line, ctx->cl_scc[cl], pl, ps, NULL);
+    Py_DECREF(pl);
+    Py_DECREF(ps);
+    if (!res)
+        return -1;
+    PyObject *c = PyObject_GetAttr(res, s_complete);
+    PyObject *r = c ? PyObject_GetAttr(res, s_retire) : NULL;
+    Py_DECREF(res);
+    if (!c || !r) {
+        Py_XDECREF(c);
+        Py_XDECREF(r);
+        return -1;
+    }
+    *complete = PyLong_AsLongLong(c);
+    *retire = PyLong_AsLongLong(r);
+    Py_DECREF(c);
+    Py_DECREF(r);
+    if (PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static long long
+call_ifetch(Ctx *ctx, long long pid, long long addr, long long count,
+            long long time, int *err)
+{
+    PyObject *a0 = PyLong_FromLongLong(pid);
+    PyObject *a1 = a0 ? PyLong_FromLongLong(addr) : NULL;
+    PyObject *a2 = a1 ? PyLong_FromLongLong(count) : NULL;
+    PyObject *a3 = a2 ? PyLong_FromLongLong(time) : NULL;
+    if (!a0 || !a1 || !a2 || !a3) {
+        Py_XDECREF(a0);
+        Py_XDECREF(a1);
+        Py_XDECREF(a2);
+        Py_XDECREF(a3);
+        *err = 1;
+        return 0;
+    }
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        ctx->ifetch, a0, a1, a2, a3, NULL);
+    Py_DECREF(a0);
+    Py_DECREF(a1);
+    Py_DECREF(a2);
+    Py_DECREF(a3);
+    if (!res) {
+        *err = 1;
+        return 0;
+    }
+    long long v = PyLong_AsLongLong(res);
+    Py_DECREF(res);
+    if (v == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return v;
+}
+
+/* One read/write reference; mirrors the python data-event body. */
+static int
+do_access(Ctx *ctx, long long cl, long long pid, int is_read,
+          long long addr, long long *time_io)
+{
+    long long time = *time_io;
+    long long line = addr >> ctx->line_shift;
+    long long bank = line % ctx->nbanks;   /* python %: floored */
+    if (bank < 0)
+        bank += ctx->nbanks;
+    long long *bank_free = ctx->cl_bank_free[cl];
+    long long free_t = bank_free[bank];
+    long long start;
+    if (free_t > time) {
+        ctx->d_conf[cl] += free_t - time;
+        start = free_t;
+    }
+    else {
+        start = time;
+    }
+    bank_free[bank] = start + ctx->bank_cycle;
+    long long idx = line & ctx->idx_mask;
+    long long *states = ctx->cl_states[cl];
+    long long *tags = ctx->cl_tags[cl];
+    long long done;
+    int err = 0;
+    if (is_read) {
+        if (states[idx] && tags[idx] == (line >> ctx->tag_shift)) {
+            ctx->d_reads[cl]++;
+            done = inflight_done(ctx->cl_inflight[cl], line, start, &err);
+            if (err)
+                return -1;
+        }
+        else {
+            done = call_read_miss(ctx, cl, line, start, &err);
+            if (err)
+                return -1;
+        }
+    }
+    else {
+        if (states[idx] >= ST_MODIFIED
+            && tags[idx] == (line >> ctx->tag_shift)) {
+            states[idx] = ST_MODIFIED;
+            ctx->d_writes[cl]++;
+            done = inflight_done(ctx->cl_inflight[cl], line, start, &err);
+            if (err)
+                return -1;
+            if (!ctx->stall_on_writes) {
+                long long stall =
+                    c_reserve(ctx, cl, bank, done, done, &err);
+                if (err)
+                    return -1;
+                ctx->d_wbuf[cl] += stall;
+                done += stall;
+            }
+        }
+        else {
+            long long complete, retire;
+            if (call_write_line(ctx, cl, line, start, &complete,
+                                &retire) < 0)
+                return -1;
+            done = complete;
+            if (ctx->stall_on_writes) {
+                if (retire > done)
+                    done = retire;
+            }
+            else {
+                long long stall =
+                    c_reserve(ctx, cl, bank, done, retire, &err);
+                if (err)
+                    return -1;
+                ctx->d_wbuf[cl] += stall;
+                done += stall;
+            }
+        }
+    }
+    ctx->d_refs[pid]++;
+    ctx->d_busy[pid]++;
+    ctx->d_stall[pid] += done - time - 1;
+    ctx->d_finish[pid] = done;
+    *time_io = done;
+    return 0;
+}
+
+/* ------------------------------------------------------------ lifecycle */
+
+static void
+ctx_release(Ctx *ctx)
+{
+    if (ctx->released)
+        return;
+    ctx->released = 1;
+    for (int i = 0; i < ctx->nviews; i++)
+        PyBuffer_Release(&ctx->views[i]);
+    ctx->nviews = 0;
+    Py_CLEAR(ctx->plan);
+}
+
+static void
+ctx_destructor(PyObject *capsule)
+{
+    Ctx *ctx = (Ctx *)PyCapsule_GetPointer(capsule, CTX_NAME);
+    if (!ctx)
+        return;
+    ctx_release(ctx);
+    PyMem_Free(ctx->views);
+    PyMem_Free(ctx->cl_states);
+    PyMem_Free(ctx->cl_inflight);
+    PyMem_Free(ctx->ic_states);
+    PyMem_Free(ctx->ic_mask);
+    PyMem_Free(ctx);
+}
+
+static PyObject *
+native_setup(PyObject *self, PyObject *plan)
+{
+    (void)self;
+    if (!PyTuple_Check(plan) || PyTuple_GET_SIZE(plan) != 6) {
+        PyErr_SetString(PyExc_TypeError, "plan must be a 6-tuple");
+        return NULL;
+    }
+    PyObject *per_cluster = PyTuple_GET_ITEM(plan, 0);
+    PyObject *callbacks = PyTuple_GET_ITEM(plan, 1);
+    PyObject *scal = PyTuple_GET_ITEM(plan, 2);
+    PyObject *ic_tuple = PyTuple_GET_ITEM(plan, 3);
+    PyObject *deltas = PyTuple_GET_ITEM(plan, 4);
+    PyObject *regs = PyTuple_GET_ITEM(plan, 5);
+
+    Ctx *ctx = PyMem_Calloc(1, sizeof(Ctx));
+    if (!ctx)
+        return PyErr_NoMemory();
+    ctx->n_cl = (int)PyTuple_GET_SIZE(per_cluster);
+    ctx->nproc = (int)PyTuple_GET_SIZE(ic_tuple);
+
+    int max_views = 3 * ctx->n_cl + 2 * ctx->nproc + 16;
+    ctx->views = PyMem_Calloc(max_views, sizeof(Py_buffer));
+    ctx->cl_states = PyMem_Calloc(3 * ctx->n_cl, sizeof(long long *));
+    ctx->cl_inflight = PyMem_Calloc(3 * ctx->n_cl, sizeof(PyObject *));
+    int nic = ctx->nproc > 0 ? ctx->nproc : 1;
+    ctx->ic_states = PyMem_Calloc(2 * nic, sizeof(long long *));
+    ctx->ic_mask = PyMem_Calloc(2 * nic, sizeof(long long));
+    if (!ctx->views || !ctx->cl_states || !ctx->cl_inflight
+        || !ctx->ic_states || !ctx->ic_mask) {
+        PyMem_Free(ctx->views);
+        PyMem_Free(ctx->cl_states);
+        PyMem_Free(ctx->cl_inflight);
+        PyMem_Free(ctx->ic_states);
+        PyMem_Free(ctx->ic_mask);
+        PyMem_Free(ctx);
+        return PyErr_NoMemory();
+    }
+    ctx->cl_tags = ctx->cl_states + ctx->n_cl;
+    ctx->cl_bank_free = ctx->cl_states + 2 * ctx->n_cl;
+    ctx->cl_scc = ctx->cl_inflight + ctx->n_cl;
+    ctx->cl_wbufs = ctx->cl_inflight + 2 * ctx->n_cl;
+    ctx->ic_tags = ctx->ic_states + nic;
+    ctx->ic_shift = ctx->ic_mask + nic;
+
+    ctx->plan = plan;
+    Py_INCREF(plan);
+
+    long long sc[10];
+    for (Py_ssize_t k = 0; k < 10; k++) {
+        if (get_ll_item(scal, k, &sc[k]) < 0)
+            goto fail;
+    }
+    ctx->idx_mask = sc[0];
+    ctx->tag_shift = sc[1];
+    ctx->line_shift = sc[2];
+    ctx->nbanks = sc[3];
+    ctx->bank_cycle = sc[4];
+    ctx->stall_on_writes = (int)sc[5];
+    ctx->wb_depth = sc[6];
+    ctx->icache_mode = (int)sc[7];
+    ctx->iline_shift = sc[8];
+    ctx->limit = sc[9];
+
+    for (int c = 0; c < ctx->n_cl; c++) {
+        PyObject *entry = PyTuple_GET_ITEM(per_cluster, c);
+        if (!(ctx->cl_states[c] =
+                  acquire_ll(ctx, PyTuple_GET_ITEM(entry, 0))))
+            goto fail;
+        if (!(ctx->cl_tags[c] =
+                  acquire_ll(ctx, PyTuple_GET_ITEM(entry, 1))))
+            goto fail;
+        if (!(ctx->cl_bank_free[c] =
+                  acquire_ll(ctx, PyTuple_GET_ITEM(entry, 2))))
+            goto fail;
+        ctx->cl_inflight[c] = PyTuple_GET_ITEM(entry, 3);
+        ctx->cl_scc[c] = PyTuple_GET_ITEM(entry, 4);
+        ctx->cl_wbufs[c] = PyTuple_GET_ITEM(entry, 5);
+    }
+    for (int p = 0; p < ctx->nproc; p++) {
+        PyObject *entry = PyTuple_GET_ITEM(ic_tuple, p);
+        if (!(ctx->ic_states[p] =
+                  acquire_ll(ctx, PyTuple_GET_ITEM(entry, 0))))
+            goto fail;
+        if (!(ctx->ic_tags[p] =
+                  acquire_ll(ctx, PyTuple_GET_ITEM(entry, 1))))
+            goto fail;
+        if (get_ll_item(entry, 2, &ctx->ic_mask[p]) < 0)
+            goto fail;
+        if (get_ll_item(entry, 3, &ctx->ic_shift[p]) < 0)
+            goto fail;
+    }
+    ctx->read_miss = PyTuple_GET_ITEM(callbacks, 0);
+    ctx->write_line = PyTuple_GET_ITEM(callbacks, 1);
+    ctx->ifetch = PyTuple_GET_ITEM(callbacks, 2);
+    ctx->queues = PyTuple_GET_ITEM(callbacks, 3);
+
+    long long **dptr[10] = {
+        &ctx->d_reads, &ctx->d_writes, &ctx->d_conf, &ctx->d_wbuf,
+        &ctx->d_refs, &ctx->d_busy, &ctx->d_stall, &ctx->d_finish,
+        &ctx->d_icfetch, &ctx->misc,
+    };
+    for (int k = 0; k < 10; k++) {
+        if (!(*dptr[k] = acquire_ll(ctx, PyTuple_GET_ITEM(deltas, k))))
+            goto fail;
+    }
+    if (!(ctx->regs = acquire_ll(ctx, regs)))
+        goto fail;
+
+    PyObject *capsule = PyCapsule_New(ctx, CTX_NAME, ctx_destructor);
+    if (!capsule)
+        goto fail;
+    return capsule;
+
+fail:
+    ctx_release(ctx);
+    PyMem_Free(ctx->views);
+    PyMem_Free(ctx->cl_states);
+    PyMem_Free(ctx->cl_inflight);
+    PyMem_Free(ctx->ic_states);
+    PyMem_Free(ctx->ic_mask);
+    PyMem_Free(ctx);
+    return NULL;
+}
+
+static PyObject *
+native_release(PyObject *self, PyObject *capsule)
+{
+    (void)self;
+    Ctx *ctx = (Ctx *)PyCapsule_GetPointer(capsule, CTX_NAME);
+    if (!ctx)
+        return NULL;
+    ctx_release(ctx);
+    Py_RETURN_NONE;
+}
+
+/* --------------------------------------------------------------- drain */
+
+static PyObject *
+native_drain(PyObject *self, PyObject *args)
+{
+    (void)self;
+    PyObject *capsule, *chunk;
+    if (!PyArg_ParseTuple(args, "OO", &capsule, &chunk))
+        return NULL;
+    Ctx *ctx = (Ctx *)PyCapsule_GetPointer(capsule, CTX_NAME);
+    if (!ctx)
+        return NULL;
+    if (ctx->released) {
+        PyErr_SetString(PyExc_RuntimeError, "drain on released context");
+        return NULL;
+    }
+    Py_buffer cview;
+    if (PyObject_GetBuffer(chunk, &cview, PyBUF_SIMPLE) < 0)
+        return NULL;
+    const long long *data = (const long long *)cview.buf;
+    long long end = (long long)(cview.len / 8);
+
+    long long *regs = ctx->regs;
+    long long i = regs[0];
+    long long sub = regs[1];
+    long long time = regs[2];
+    long long next_time = regs[3];
+    long long pid = regs[4];
+    long long cl = regs[5];
+    long long limit = ctx->limit;
+    long long *misc = ctx->misc;
+    int status = STATUS_EXHAUSTED;
+
+    while (i < end) {
+        long long op = data[i];
+        if (op == OP_READ || op == OP_WRITE || op == OP_COMPUTE) {
+            if (time > limit)
+                goto limit_exceeded;
+            long long operand = data[i + 1];
+            i += 2;
+            misc[0]++;
+            if (op == OP_COMPUTE) {
+                if (operand) {
+                    ctx->d_busy[pid] += operand;
+                    time += operand;
+                    if (time > next_time) {
+                        status = STATUS_PREEMPT;
+                        break;
+                    }
+                }
+                continue;
+            }
+            if (do_access(ctx, cl, pid, op == OP_READ, operand,
+                          &time) < 0)
+                goto fail;
+            if (time > next_time) {
+                status = STATUS_PREEMPT;
+                break;
+            }
+        }
+        else if (op == OP_READ_SPAN || op == OP_WRITE_SPAN) {
+            long long base = data[i + 1];
+            long long size = data[i + 2];
+            long long stride = data[i + 3];
+            long long offset = sub;
+            sub = 0;
+            int preempted = 0;
+            int is_read = op == OP_READ_SPAN;
+            while (offset < size) {
+                if (time > limit)
+                    goto limit_exceeded;
+                misc[0]++;
+                if (do_access(ctx, cl, pid, is_read, base + offset,
+                              &time) < 0)
+                    goto fail;
+                offset += stride;
+                if (time > next_time) {
+                    preempted = 1;
+                    break;
+                }
+            }
+            if (offset >= size)
+                i += 4;
+            else
+                sub = offset;
+            if (preempted) {
+                status = STATUS_PREEMPT;
+                break;
+            }
+        }
+        else if (op == OP_IFETCH) {
+            if (time > limit)
+                goto limit_exceeded;
+            misc[0]++;
+            long long count = data[i + 2];
+            if (ctx->icache_mode == 0) {
+                ctx->d_busy[pid] += count;
+                time += count;
+            }
+            else if (ctx->icache_mode == 1) {
+                long long addr = data[i + 1];
+                long long iline_no = addr >> ctx->iline_shift;
+                long long ilast =
+                    (addr + count * 4 - 1) >> ctx->iline_shift;
+                long long *istates = ctx->ic_states[pid];
+                long long *itags = ctx->ic_tags[pid];
+                long long imask = ctx->ic_mask[pid];
+                long long ishift = ctx->ic_shift[pid];
+                while (iline_no <= ilast) {
+                    long long idxi = iline_no & imask;
+                    if (istates[idxi]
+                        && itags[idxi] == (iline_no >> ishift))
+                        iline_no++;
+                    else
+                        break;
+                }
+                if (iline_no > ilast) {
+                    ctx->d_icfetch[pid] +=
+                        ilast - (addr >> ctx->iline_shift) + 1;
+                    ctx->d_busy[pid] += count;
+                    time += count;
+                }
+                else {
+                    int err = 0;
+                    time = call_ifetch(ctx, pid, addr, count, time, &err);
+                    if (err)
+                        goto fail;
+                }
+            }
+            else {
+                int err = 0;
+                time = call_ifetch(ctx, pid, data[i + 1], count, time,
+                                   &err);
+                if (err)
+                    goto fail;
+            }
+            i += 3;
+            if (time > next_time) {
+                status = STATUS_PREEMPT;
+                break;
+            }
+        }
+        else if (op == OP_ENQUEUE) {
+            if (time > limit)
+                goto limit_exceeded;
+            misc[0]++;
+            PyObject *key = PyLong_FromLongLong(data[i + 1]);
+            if (!key)
+                goto fail;
+            PyObject *q = PyDict_GetItemWithError(ctx->queues, key);
+            if (q) {
+                Py_INCREF(q);
+            }
+            else {
+                if (PyErr_Occurred()) {
+                    Py_DECREF(key);
+                    goto fail;
+                }
+                q = PyObject_CallNoArgs(g_deque);
+                if (!q || PyDict_SetItem(ctx->queues, key, q) < 0) {
+                    Py_XDECREF(q);
+                    Py_DECREF(key);
+                    goto fail;
+                }
+            }
+            Py_DECREF(key);
+            PyObject *item = PyLong_FromLongLong(data[i + 2]);
+            PyObject *r = item ? PyObject_CallMethodObjArgs(
+                q, s_append, item, NULL) : NULL;
+            Py_XDECREF(item);
+            Py_DECREF(q);
+            if (!r)
+                goto fail;
+            Py_DECREF(r);
+            i += 3;
+        }
+        else if (op == OP_DEQUEUE) {
+            if (time > limit)
+                goto limit_exceeded;
+            misc[0]++;
+            PyObject *key = PyLong_FromLongLong(data[i + 1]);
+            if (!key)
+                goto fail;
+            PyObject *q = PyDict_GetItemWithError(ctx->queues, key);
+            Py_DECREF(key);
+            if (!q && PyErr_Occurred())
+                goto fail;
+            if (q) {
+                int truthy = PyObject_IsTrue(q);
+                if (truthy < 0)
+                    goto fail;
+                if (truthy) {
+                    PyObject *r = PyObject_CallMethodObjArgs(
+                        q, s_popleft, NULL);
+                    if (!r)
+                        goto fail;
+                    Py_DECREF(r);
+                }
+            }
+            i += 2;
+        }
+        else {
+            /* Synchronization or unknown opcode: the wrapper runs the
+             * handler (or raises the unknown-opcode error) for exact
+             * error/accounting parity with the python loop. */
+            if (time > limit)
+                goto limit_exceeded;
+            status = STATUS_SYNC;
+            break;
+        }
+    }
+
+    regs[0] = i;
+    regs[1] = sub;
+    regs[2] = time;
+    PyBuffer_Release(&cview);
+    return PyLong_FromLong(status);
+
+limit_exceeded:
+    PyErr_Format(PyExc_RuntimeError, "simulation exceeded %lld cycles",
+                 limit);
+fail:
+    regs[0] = i;
+    regs[1] = sub;
+    regs[2] = time;
+    PyBuffer_Release(&cview);
+    return NULL;
+}
+
+/* --------------------------------------------------------------- module */
+
+static PyMethodDef methods[] = {
+    {"setup", native_setup, METH_O,
+     "Parse a drain plan into a context capsule."},
+    {"drain", native_drain, METH_VARARGS,
+     "Consume packed events; returns 0/1/2 (exhausted/preempt/sync)."},
+    {"release", native_release, METH_O,
+     "Release the buffer views held by a context."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_native",
+    "C inner loop for the packed replay interleaver.", -1, methods,
+    NULL, NULL, NULL, NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    PyObject *collections = PyImport_ImportModule("collections");
+    if (!collections)
+        return NULL;
+    g_deque = PyObject_GetAttrString(collections, "deque");
+    Py_DECREF(collections);
+    if (!g_deque)
+        return NULL;
+    s_append = PyUnicode_InternFromString("append");
+    s_popleft = PyUnicode_InternFromString("popleft");
+    s_complete = PyUnicode_InternFromString("complete");
+    s_retire = PyUnicode_InternFromString("retire");
+    if (!s_append || !s_popleft || !s_complete || !s_retire)
+        return NULL;
+    return PyModule_Create(&moduledef);
+}

@@ -1,0 +1,367 @@
+"""Batch decode of packed chunks into flat per-event arrays.
+
+The numpy backend (:mod:`repro.trace.engine.numpy_backend`) cannot
+vectorize over the packed wire format directly: opcodes have variable
+widths (2-4 ints) and span opcodes expand to a run of accesses, so event
+boundaries are data-dependent.  Decoding converts a chunk to columnar
+form:
+
+* ``kind[e]`` -- the opcode governing event ``e``; spans decode to runs of
+  ``OP_READ``/``OP_WRITE`` elements, so ``kind`` only ever holds the
+  non-span opcodes.
+* ``a[e]``, ``b[e]`` -- operands (address/cycles/lock id/..., count/item).
+* ``after_i[e]``, ``after_sub[e]`` -- the packed-stream resume position
+  *after* event ``e``, exactly what the interleaver stores in
+  ``chunk_pos``/``chunk_sub`` when it yields mid-chunk.  Event ``e``
+  begins at ``after[e-1]``, which is how a resumed drain maps its stored
+  position back to an event cursor (:meth:`DecodedChunk.cursor_for`).
+
+Event boundaries are found without a per-opcode python loop: a
+vectorized next-position table (``nxt[i] = i + width(data[i])``) is
+composed with itself three times so that one python iteration jumps
+*eight* opcodes, and the seven intermediate starts per jump are
+recovered with batched gathers.  Spans then expand to their element
+runs with ``np.repeat`` arithmetic.  A scalar decoder remains as the
+fallback for tiny chunks (numpy's fixed costs lose below a few hundred
+ints), non-int64 payloads, and truncated streams (whose mid-opcode
+``IndexError`` it reproduces exactly).
+
+Decodes of :class:`array.array` streams are memoized in a module-level
+cache keyed by the data object's identity (guarded by a weak reference,
+so entries die with their stream and id reuse cannot alias).  Replay
+(:class:`~repro.trace.record.ReplayApplication`) yields the *same*
+array object every run, so a sweep or benchmark that replays one
+recording many times decodes it once.  The cache assumes recorded
+streams are not mutated once replayed -- the record/replay pipeline
+never does.
+
+Derived columns (``line``, ``idx``, ``tag``, ``bank``, ``adv``, icache
+line ranges) are computed vectorized for the machine geometry so the
+backend's classification gathers need no per-event arithmetic.
+
+An unknown opcode does not fail the decode: everything before it is
+decoded normally and the offending position is recorded in ``bad_pos`` so
+the consuming loop can raise the exact error the python loop would raise
+*after* processing the preceding events (error parity matters to the
+differential verifier).
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from bisect import bisect_left
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE, OP_ENQUEUE,
+                      OP_IFETCH, OP_LOCK_ACQ, OP_LOCK_REL, OP_READ,
+                      OP_READ_SPAN, OP_WIDTH, OP_WRITE, OP_WRITE_SPAN)
+
+__all__ = ["DecodedChunk", "decode_chunk"]
+
+_I64 = np.int64
+
+_N_OPCODES = 12
+_WIDTH_LUT = np.zeros(_N_OPCODES, dtype=_I64)
+for _op, _w in OP_WIDTH.items():
+    _WIDTH_LUT[_op] = _w
+
+#: Below this many ints the scalar decoder beats numpy's fixed costs.
+_VECTOR_MIN_INTS = 256
+
+#: id(data) -> (weakref guard, geometry tuple, DecodedChunk).  One entry
+#: per live stream object: a replay at a different machine geometry
+#: replaces the entry rather than growing it.
+_DECODE_CACHE: dict = {}
+
+
+class DecodedChunk:
+    """Columnar view of one packed chunk (see module docstring)."""
+
+    __slots__ = ("n", "kind", "a", "b", "after_i", "after_sub",
+                 "after_pairs", "bad_pos", "source",
+                 "adv", "idx", "tag", "bank", "maybe_fast",
+                 "maybe_fast_list", "is_read", "is_write", "is_data",
+                 "is_ifetch", "il_first", "il_last")
+
+    def __init__(self) -> None:
+        self.n = 0
+        # Scalar (python list) columns: the slow per-event path indexes
+        # these, and list indexing beats numpy scalar indexing ~2x.
+        self.kind: List[int] = []
+        self.a: List[int] = []
+        self.b: List[int] = []
+        self.after_i: List[int] = []
+        self.after_sub: List[int] = []
+        self.after_pairs: Optional[List[Tuple[int, int]]] = None
+        self.bad_pos: Optional[int] = None
+        self.source: Optional[object] = None
+
+    def cursor_for(self, pos: int, sub: int) -> int:
+        """Event index whose packed position is ``(pos, sub)``.
+
+        Positions stored by a yielding drain are always event boundaries,
+        so this is an exact lookup over the (strictly increasing)
+        ``after`` pairs.
+        """
+        if pos == 0 and sub == 0:
+            return 0
+        pairs = self.after_pairs
+        if pairs is None:
+            pairs = self.after_pairs = list(zip(self.after_i,
+                                                self.after_sub))
+        return bisect_left(pairs, (pos, sub)) + 1
+
+
+def decode_chunk(data, line_shift: int, idx_mask: int, tag_shift: int,
+                 nbanks: int, icache_mode: int,
+                 iline_shift: int) -> DecodedChunk:
+    """Decode ``data`` (an int sequence in packed format) to columns.
+
+    ``icache_mode``: 0 = icache not modelled (ifetch is pure accounting),
+    1 = inline icache arrays available (per-window residency check),
+    2 = ifetch always goes through the ``system.ifetch`` callback.
+    """
+    geom = (line_shift, idx_mask, tag_shift, nbanks, icache_mode,
+            iline_shift)
+    cacheable = isinstance(data, array) and data.typecode == "q"
+    if cacheable:
+        entry = _DECODE_CACHE.get(id(data))
+        if (entry is not None and entry[0]() is data
+                and entry[1] == geom):
+            return entry[2]
+
+    out = DecodedChunk()
+    columns = None
+    if len(data) >= _VECTOR_MIN_INTS:
+        columns = _vector_columns(data)
+    if columns is None:
+        kind_np, a_np, b_np = _scalar_columns(out, data)
+    else:
+        kind_np, a_np, b_np, ai_np, asub_np, out.bad_pos = columns
+        out.kind = kind_np.tolist()
+        out.a = a_np.tolist()
+        out.b = b_np.tolist()
+        out.after_i = ai_np.tolist()
+        out.after_sub = asub_np.tolist()
+    out.n = len(out.kind)
+    _derive(out, kind_np, a_np, b_np, line_shift, idx_mask, tag_shift,
+            nbanks, icache_mode, iline_shift)
+
+    if cacheable:
+        key = id(data)
+        guard = weakref.ref(
+            data,
+            lambda _r, _d=_DECODE_CACHE, _k=key: _d.pop(_k, None))
+        _DECODE_CACHE[key] = (guard, geom, out)
+    return out
+
+
+def _vector_columns(data):
+    """Event columns via the jump-table chase, or ``None`` to fall back.
+
+    Falls back (returns ``None``) when the payload does not convert to
+    int64 or when the stream ends mid-opcode -- the scalar decoder then
+    reproduces the legacy behavior (including its ``IndexError``)
+    exactly.
+    """
+    if isinstance(data, array) and data.typecode == "q":
+        arr = np.frombuffer(data, dtype=_I64)
+    else:
+        try:
+            arr = np.array(data, dtype=_I64)
+        except (OverflowError, ValueError, TypeError):
+            return None
+    n = arr.shape[0]
+
+    in_range = (arr >= 0) & (arr < _N_OPCODES)
+    w_all = np.where(in_range,
+                     _WIDTH_LUT[np.where(in_range, arr, 0)], 0)
+    # Invalid opcodes jump past the end so the chase terminates; the
+    # validation pass below turns the stop into bad_pos.
+    step = np.where(w_all > 0, w_all, n + 1)
+    nxt = np.minimum(np.arange(n, dtype=_I64) + step, n)
+    nxt = np.append(nxt, n)                      # sentinel: end -> end
+    nxt2 = nxt[nxt]
+    nxt4 = nxt2[nxt2]
+    nxt8 = nxt4[nxt4]
+
+    jump = nxt8.tolist()
+    coarse = []
+    push = coarse.append
+    i = 0
+    while i < n:
+        push(i)
+        i = jump[i]
+    cur = np.array(coarse, dtype=_I64)
+    cols = [cur]
+    for _ in range(7):
+        cur = nxt[cur]
+        cols.append(cur)
+    starts = np.stack(cols, axis=1).reshape(-1)
+    starts = starts[starts < n]
+
+    ops = arr[starts]
+    widths = w_all[starts]
+    is_span = (ops == OP_READ_SPAN) | (ops == OP_WRITE_SPAN)
+    o1 = arr[np.minimum(starts + 1, n - 1)]
+    o2 = np.where(widths >= 3, arr[np.minimum(starts + 2, n - 1)], 0)
+    o3 = np.where(widths >= 4, arr[np.minimum(starts + 3, n - 1)], 0)
+
+    bad_unknown = widths == 0
+    truncated = starts + np.maximum(widths, 1) > n
+    # The python loop would spin forever on a non-positive span stride;
+    # decode stops there like an undecodable tail (see numpy_backend).
+    bad_stride = is_span & (o2 > 0) & (o3 <= 0)
+    invalid = bad_unknown | truncated | bad_stride
+    bad_pos: Optional[int] = None
+    if invalid.any():
+        k = int(np.argmax(invalid))
+        if truncated[k] and not bad_unknown[k]:
+            return None              # scalar fallback raises IndexError
+        bad_pos = int(starts[k])
+        starts = starts[:k]
+        ops = ops[:k]
+        widths = widths[:k]
+        is_span = is_span[:k]
+        o1 = o1[:k]
+        o2 = o2[:k]
+        o3 = o3[:k]
+
+    sizes = np.where(is_span, o2, 0)
+    strides = np.where(is_span, o3, 1)
+    # (size - 1) // stride + 1 elements; written to dodge int64 overflow
+    # of size + stride.  Zero-size spans decode to zero events.
+    n_el = np.where(is_span,
+                    np.where(sizes > 0, (sizes - 1) // strides + 1, 0),
+                    1)
+    total = int(n_el.sum())
+    rep = np.repeat(np.arange(starts.shape[0], dtype=_I64), n_el)
+    j_loc = np.arange(total, dtype=_I64) - (np.cumsum(n_el) - n_el)[rep]
+
+    ops_rep = ops[rep]
+    span_rep = is_span[rep]
+    stride_rep = strides[rep]
+    kind_np = np.where(span_rep,
+                       np.where(ops_rep == OP_READ_SPAN,
+                                _I64(OP_READ), _I64(OP_WRITE)),
+                       ops_rep)
+    a_np = o1[rep] + j_loc * stride_rep
+    b_np = np.where(is_span, 0, o2)[rep]
+    is_last = j_loc == (n_el[rep] - 1)
+    ai_np = np.where(is_last, (starts + widths)[rep], starts[rep])
+    asub_np = np.where(is_last, 0, (j_loc + 1) * stride_rep)
+    return kind_np, a_np, b_np, ai_np, asub_np, bad_pos
+
+
+def _scalar_columns(out: DecodedChunk, data):
+    """Reference decoder: one python iteration per opcode."""
+    kind = out.kind
+    av = out.a
+    bv = out.b
+    ai = out.after_i
+    asub = out.after_sub
+    if not isinstance(data, list):
+        # array('q') indexes slower than list; one C-speed conversion
+        # pays for itself after a few hundred events.
+        data = list(data)
+    n = len(data)
+    i = 0
+    while i < n:
+        op = data[i]
+        if op == OP_READ or op == OP_WRITE or op == OP_COMPUTE:
+            kind.append(op)
+            av.append(data[i + 1])
+            bv.append(0)
+            i += 2
+            ai.append(i)
+            asub.append(0)
+        elif op == OP_READ_SPAN or op == OP_WRITE_SPAN:
+            base = data[i + 1]
+            size = data[i + 2]
+            stride = data[i + 3]
+            if size > 0 and stride <= 0:
+                # The python loop would spin forever on this; treat it
+                # like an undecodable tail so the scalar path stops here.
+                out.bad_pos = i
+                break
+            kop = OP_READ if op == OP_READ_SPAN else OP_WRITE
+            offset = 0
+            while offset < size:
+                kind.append(kop)
+                av.append(base + offset)
+                bv.append(0)
+                offset += stride
+                if offset < size:
+                    ai.append(i)
+                    asub.append(offset)
+                else:
+                    ai.append(i + 4)
+                    asub.append(0)
+            i += 4
+        elif op == OP_IFETCH or op == OP_BARRIER or op == OP_ENQUEUE:
+            kind.append(op)
+            av.append(data[i + 1])
+            bv.append(data[i + 2])
+            i += 3
+            ai.append(i)
+            asub.append(0)
+        elif op == OP_LOCK_ACQ or op == OP_LOCK_REL or op == OP_DEQUEUE:
+            kind.append(op)
+            av.append(data[i + 1])
+            bv.append(0)
+            i += 2
+            ai.append(i)
+            asub.append(0)
+        else:
+            out.bad_pos = i
+            break
+    return (np.array(kind, dtype=_I64), np.array(av, dtype=_I64),
+            np.array(bv, dtype=_I64))
+
+
+def _derive(out: DecodedChunk, kind_np, a_np, b_np, line_shift: int,
+            idx_mask: int, tag_shift: int, nbanks: int, icache_mode: int,
+            iline_shift: int) -> None:
+    """Geometry-derived columns shared by both decoders."""
+    is_read = kind_np == OP_READ
+    is_write = kind_np == OP_WRITE
+    is_data = is_read | is_write
+    is_ifetch = kind_np == OP_IFETCH
+    out.is_read = is_read
+    out.is_write = is_write
+    out.is_data = is_data
+    out.is_ifetch = is_ifetch
+
+    line = a_np >> line_shift
+    out.idx = line & idx_mask
+    out.tag = line >> tag_shift
+    out.bank = line % nbanks
+
+    # Busy-cycle advance of each event *when it is fast*: hits cost one
+    # cycle, computes their operand, resident ifetches their count.
+    adv = np.where(is_data, _I64(1), _I64(0))
+    adv = np.where(kind_np == OP_COMPUTE, a_np, adv)
+    adv = np.where(is_ifetch, b_np, adv)
+    out.adv = adv
+
+    # Degenerate operands (negative compute cycles, non-positive fetch
+    # counts, astronomically large advances that could overflow a
+    # cumulative sum) are legal on the scalar path but excluded from the
+    # vector window; the scalar branches replay them exactly.
+    maybe_fast = is_data | ((kind_np == OP_COMPUTE) & (a_np >= 0)
+                            & (a_np < (1 << 40)))
+    if icache_mode == 0:
+        maybe_fast |= is_ifetch & (b_np >= 1) & (b_np < (1 << 40))
+        out.il_first = out.il_last = None
+    elif icache_mode == 1:
+        maybe_fast |= is_ifetch & (b_np >= 1) & (b_np < (1 << 40))
+        out.il_first = a_np >> iline_shift
+        # 4 bytes per instruction (repro.core.icache.INSTRUCTION_BYTES).
+        out.il_last = (a_np + b_np * 4 - 1) >> iline_shift
+    else:
+        out.il_first = out.il_last = None
+    out.maybe_fast = maybe_fast
+    out.maybe_fast_list = maybe_fast.tolist()

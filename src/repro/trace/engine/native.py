@@ -1,0 +1,388 @@
+"""C-extension packed replay backend: loader, on-demand build, wrapper.
+
+``_native.c`` implements the interleaver's chunk-drain inner loop over
+raw ``int64_t*`` views of the shared ``array('q')`` tag/state/bank
+storage.  Python keeps everything rare: process switches (heap
+scheduling), generator resumes, synchronization handlers, and the
+coherence callbacks for misses -- the same division of labor the python
+fast path uses between its inline hit code and ``CoherenceController``.
+
+Loading strategy (graceful at every step, ``LOAD_ERROR`` records why a
+step failed):
+
+1. ``repro.trace.engine._native`` -- the setuptools ``Extension`` built
+   by ``pip install`` / ``python setup.py build_ext --inplace``.
+2. On-demand compile of ``_native.c`` into a content-addressed cache
+   directory (``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro-native``),
+   because the repo's documented mode of use is ``PYTHONPATH=src`` from
+   a source tree with no install step.  Concurrent builders race safely
+   (atomic rename); rebuilds happen only when the source, interpreter,
+   or ``NATIVE_VERSION`` changes.
+
+Set ``REPRO_NATIVE=0`` to refuse the extension outright (tests use this
+to assert the clean-fallback path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+from array import array
+from pathlib import Path
+from typing import Optional
+
+from ..packed import OP_BARRIER, OP_LOCK_ACQ, OP_LOCK_REL
+
+__all__ = ["NATIVE_VERSION", "LOAD_ERROR", "load", "run"]
+
+#: Bump when the C ABI (plan layout, drain contract) changes.
+NATIVE_VERSION = "1"
+
+LOAD_ERROR: Optional[str] = None
+
+_UNSET = object()
+_mod = _UNSET
+
+_NO_LIMIT = (1 << 63) - 1
+
+# drain() statuses
+_EXHAUSTED = 0
+_PREEMPT = 1
+_SYNC = 2
+
+
+def _source_path() -> Path:
+    return Path(__file__).with_name("_native.c")
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def _build_key(source: bytes) -> str:
+    tag = (f"{sys.version_info[0]}.{sys.version_info[1]}-"
+           f"{NATIVE_VERSION}-").encode() + source
+    return hashlib.sha256(tag).hexdigest()[:16]
+
+
+def _compile_on_demand() -> Optional[object]:
+    """Build ``_native.c`` into the cache dir and import it."""
+    global LOAD_ERROR
+    src = _source_path()
+    if not src.is_file():
+        LOAD_ERROR = f"source missing: {src}"
+        return None
+    source = src.read_bytes()
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    cache = _cache_dir()
+    so_path = cache / f"_native_{_build_key(source)}{suffix}"
+    if not so_path.is_file():
+        cc = (sysconfig.get_config_var("CC") or "cc").split()[0]
+        include = sysconfig.get_paths()["include"]
+        tmp = so_path.with_suffix(so_path.suffix
+                                  + f".tmp{os.getpid()}")
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            result = subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", f"-I{include}",
+                 str(src), "-o", str(tmp)],
+                capture_output=True, text=True, timeout=120)
+            if result.returncode != 0:
+                LOAD_ERROR = (f"compile failed ({cc}): "
+                              f"{result.stderr.strip()[:500]}")
+                return None
+            os.replace(tmp, so_path)
+        except (OSError, subprocess.SubprocessError) as exc:
+            LOAD_ERROR = f"compile failed: {exc}"
+            return None
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    try:
+        # The last name component must be ``_native`` so the loader finds
+        # ``PyInit__native`` in the shared object.
+        spec = importlib.util.spec_from_file_location(
+            "repro.trace.engine._native", so_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    except Exception as exc:
+        LOAD_ERROR = f"import of built extension failed: {exc}"
+        return None
+
+
+def load(rebuild: bool = False):
+    """The native extension module, or ``None`` (reason in LOAD_ERROR)."""
+    global _mod, LOAD_ERROR
+    if _mod is not _UNSET and not rebuild:
+        return _mod
+    _mod = None
+    if os.environ.get("REPRO_NATIVE", "").strip() == "0":
+        LOAD_ERROR = "disabled via REPRO_NATIVE=0"
+        return None
+    try:
+        from . import _native  # type: ignore[attr-defined]
+        _mod = _native
+        LOAD_ERROR = None
+        return _mod
+    except ImportError:
+        pass
+    _mod = _compile_on_demand()
+    if _mod is not None:
+        LOAD_ERROR = None
+    return _mod
+
+
+def _qchunk(process):
+    """The process's chunk as ``array('q')`` (installed back in place).
+
+    Chunks are fully consumed before their generator resumes, so
+    swapping the sequence object mid-drain is invisible to workloads
+    that reuse builder lists.
+    """
+    data = process.chunk
+    if type(data) is array and data.typecode == "q":
+        return data
+    data = array("q", data)
+    process.chunk = data
+    return data
+
+
+def run(interleaver, max_cycles: Optional[int]) -> int:
+    """Drop-in replacement for ``TimingInterleaver._run_fast``.
+
+    Clone of the python fast path's scheduler frame; the inner
+    chunk-drain loop runs in C (``drain``), returning only for process
+    switches, chunk exhaustion, and synchronization opcodes.
+    """
+    native = load()
+    self = interleaver
+    heap = self._heap
+    processes = self._processes
+    system = self.system
+    config = system.config
+    n_cl = config.clusters
+    cl_scc = [cluster.scc for cluster in system.clusters]
+    cl_icn = [scc.interconnect for scc in cl_scc]
+    proc_cluster = self._proc_cluster
+    procs = system._procs
+    nproc = config.total_processors
+    model_icache = config.model_icache
+    ic_objs = None
+    iline_shift = 0
+    if model_icache:
+        iline = config.icache_line_size
+        if iline > 0 and iline & (iline - 1) == 0:
+            iline_shift = iline.bit_length() - 1
+            caches = [system.clusters[proc_cluster[p]]
+                      .icaches[config.port_of(p)]
+                      for p in range(nproc)]
+            if all(ic.array._index_mask for ic in caches):
+                ic_objs = caches
+    if not model_icache:
+        icache_mode = 0
+    elif ic_objs is not None:
+        icache_mode = 1
+    else:
+        icache_mode = 2
+
+    limit = _NO_LIMIT if max_cycles is None else max_cycles
+    scal = array("q", [
+        self._idx_mask,
+        self._tag_shift,
+        config.line_offset_bits,
+        cl_icn[0].num_banks,
+        cl_icn[0].bank_cycle_time,
+        1 if config.stall_on_writes else 0,
+        cl_icn[0].write_buffer_depth,
+        icache_mode,
+        iline_shift,
+        limit,
+    ])
+    per_cluster = tuple(
+        (scc.array._states, scc.array._tags, icn._bank_free,
+         scc._inflight, scc, icn._write_buffers)
+        for scc, icn in zip(cl_scc, cl_icn))
+    if icache_mode == 1:
+        ic_tuple = tuple(
+            (ic.array._states, ic.array._tags, ic.array._index_mask,
+             ic.array._tag_shift)
+            for ic in ic_objs)
+    else:
+        ic_tuple = ()
+    d_reads = array("q", bytes(8 * n_cl))
+    d_writes = array("q", bytes(8 * n_cl))
+    d_conf = array("q", bytes(8 * n_cl))
+    d_wbuf = array("q", bytes(8 * n_cl))
+    d_refs = array("q", bytes(8 * nproc))
+    d_busy = array("q", bytes(8 * nproc))
+    d_stall = array("q", bytes(8 * nproc))
+    d_finish = array("q", [-1] * nproc)
+    d_icfetch = array("q", bytes(8 * nproc))
+    misc = array("q", [0])
+    regs = array("q", [0] * 6)
+    plan = (
+        per_cluster,
+        (system.coherence.read_miss, system.coherence.write_line,
+         system.ifetch, self._queues),
+        scal,
+        ic_tuple,
+        (d_reads, d_writes, d_conf, d_wbuf, d_refs, d_busy, d_stall,
+         d_finish, d_icfetch, misc),
+        regs,
+    )
+    ctx = native.setup(plan)
+    drain = native.drain
+
+    pop = heapq.heappop
+    pushpop = heapq.heappushpop
+    advance = self._advance
+    ev = 0
+    finish_time = 0
+    pending = -1
+    try:
+        while True:
+            if pending >= 0:
+                pid = pending
+                pending = -1
+                process = processes[pid]
+            else:
+                if not heap:
+                    break
+                pid = pop(heap)[2]
+                process = processes[pid]
+                process.in_heap = False
+            if process.chunk is None:
+                finish = advance(process, max_cycles)
+                if finish is not None and finish > finish_time:
+                    finish_time = finish
+                if process.chunk is None:
+                    continue
+            data = _qchunk(process)
+            regs[0] = process.chunk_pos
+            regs[1] = process.chunk_sub
+            regs[2] = process.time
+            regs[3] = heap[0][0] if heap else _NO_LIMIT
+            regs[4] = pid
+            regs[5] = proc_cluster[pid]
+            while True:
+                status = drain(ctx, data)
+                if status == _SYNC:
+                    i = regs[0]
+                    time = regs[2]
+                    op = data[i]
+                    ev += 1
+                    process.time = time
+                    if op == OP_LOCK_ACQ:
+                        self._lock_acquire(process, data[i + 1])
+                        i += 2
+                    elif op == OP_LOCK_REL:
+                        self._lock_release(process, data[i + 1])
+                        i += 2
+                    elif op == OP_BARRIER:
+                        self._barrier(process, data[i + 1], data[i + 2])
+                        i += 3
+                    else:
+                        # C defers unknown opcodes here so the error and
+                        # the accounting before it match the python loop.
+                        raise ValueError(
+                            f"unknown packed opcode {op} at {i}")
+                    time = process.time
+                    if process.blocked or process.in_heap:
+                        process.chunk_pos = i
+                        process.chunk_sub = 0
+                        break
+                    next_time = heap[0][0] if heap else _NO_LIMIT
+                    if time <= next_time:
+                        regs[0] = i
+                        regs[1] = 0
+                        regs[2] = time
+                        regs[3] = next_time
+                        continue
+                    process.chunk_pos = i
+                    process.chunk_sub = 0
+                elif status == _EXHAUSTED:
+                    process.time = regs[2]
+                    process.chunk = None
+                    process.chunk_pos = 0
+                    process.chunk_sub = 0
+                    finish = advance(process, max_cycles)
+                    if finish is not None:
+                        if finish > finish_time:
+                            finish_time = finish
+                        break
+                    if process.chunk is None:
+                        break
+                    data = _qchunk(process)
+                    regs[0] = 0
+                    regs[1] = 0
+                    regs[2] = process.time
+                    regs[3] = heap[0][0] if heap else _NO_LIMIT
+                    continue
+                else:
+                    time = regs[2]
+                    process.chunk_pos = regs[0]
+                    process.chunk_sub = regs[1]
+                # Preempted by the heap top (either by the C loop or by a
+                # sync handler that advanced past it): one fused
+                # push-and-pop, exactly like the python fast path.
+                time = regs[2] if status == _PREEMPT else process.time
+                process.time = time
+                self._seq += 1
+                process.in_heap = True
+                npid = pushpop(heap, (time, self._seq, pid))[2]
+                process = processes[npid]
+                process.in_heap = False
+                if process.chunk is None:
+                    pending = npid
+                    break
+                pid = npid
+                data = _qchunk(process)
+                regs[0] = process.chunk_pos
+                regs[1] = process.chunk_sub
+                regs[2] = process.time
+                regs[3] = heap[0][0] if heap else _NO_LIMIT
+                regs[4] = pid
+                regs[5] = proc_cluster[pid]
+    finally:
+        native.release(ctx)
+        self.events_processed += ev + misc[0]
+        for c in range(n_cl):
+            sstats = cl_scc[c].stats
+            if d_reads[c]:
+                sstats.reads += d_reads[c]
+            if d_writes[c]:
+                sstats.writes += d_writes[c]
+            if d_conf[c]:
+                sstats.bank_conflict_cycles += d_conf[c]
+                cl_icn[c].conflict_cycles += d_conf[c]
+            if d_wbuf[c]:
+                # The C loop inlines reserve_write_slot, so the
+                # interconnect's own stall counter is settled here too
+                # (the python method updates it as it goes).
+                sstats.write_buffer_stall_cycles += d_wbuf[c]
+                cl_icn[c].write_stall_cycles += d_wbuf[c]
+        for p in range(nproc):
+            refs = d_refs[p]
+            busy = d_busy[p]
+            if refs or busy:
+                pstats = procs[p].stats
+                pstats.references += refs
+                pstats.instructions += busy
+                pstats.busy_cycles += busy
+                pstats.memory_stall_cycles += d_stall[p]
+            if d_finish[p] > procs[p].finish_time:
+                procs[p].finish_time = d_finish[p]
+            if d_icfetch[p]:
+                ic_objs[p].fetch_lines += d_icfetch[p]
+    return finish_time

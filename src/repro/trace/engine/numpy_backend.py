@@ -1,0 +1,642 @@
+"""Numpy-vectorized packed replay backend.
+
+A clone of ``TimingInterleaver._run_fast`` (:mod:`repro.trace.interleave`)
+that drains *decoded* chunks (:mod:`repro.trace.engine.flatten`) and, on
+single-processor machines, fast-forwards whole quiet runs of cache hits
+with batched numpy array operations instead of one python iteration per
+event.  Machines the vector window can never cover (multiple processors,
+multi-cycle banks) are delegated to the python loop at entry -- identical
+semantics without the decode overhead -- so ``auto`` can pick this tier
+unconditionally and still only pay for it where it wins (uniprocessor
+sweeps, the dominant hot path).
+
+Why the vector window is exact, not approximate:
+
+* **Classification from the initial window state is exact.**  Within a
+  window of hits, reads mutate nothing and writes only set
+  ``states[idx] = MODIFIED`` at slots where the tag already matched with
+  ``state >= MODIFIED`` -- transitions that cannot change any later
+  event's hit/miss classification or its fast-write eligibility.  The
+  first event classified slow ends the window before it executes.
+* **Quiet-window preconditions.**  The window only opens when
+  ``time >= slow_bound``, a conservative bound covering every in-flight
+  fill ready time, write-buffer retire time, and bank-free residue
+  produced by slow events.  Past the bound, an in-flight lookup can only
+  find stale entries (hit timing identical to no entry; the lazy deletes
+  the python loop performs are observationally irrelevant), a write-hit
+  write-buffer reservation can never stall (all entries evictable), and
+  no bank is busy.  With one processor and ``bank_cycle_time == 1`` each
+  hit then advances time by exactly one cycle, computes by their operand
+  and resident ifetches by their count, so the window's timing is a
+  cumulative sum.
+* **Side effects are reproduced wholesale**: write slots scatter to
+  MODIFIED, each touched bank's free time becomes the start+1 of its
+  last access, and each written bank's buffer drains to exactly the last
+  store's completion (the python loop's lazy eviction leaves the same
+  single entry).
+
+Statistic deltas accumulate exactly like the python loop and flush once
+in the ``finally``; the differential verifier pins fingerprints across
+backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from .flatten import DecodedChunk, decode_chunk
+from ..packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE, OP_ENQUEUE,
+                      OP_IFETCH, OP_LOCK_ACQ, OP_LOCK_REL, OP_READ,
+                      OP_READ_SPAN, OP_WRITE, OP_WRITE_SPAN)
+from ...core.cache import MODIFIED
+from ...core.system import MultiprocessorSystem
+
+__all__ = ["run"]
+
+_NO_LIMIT = (1 << 63) - 1
+_MIN_BLOCK = 128
+_MAX_BLOCK = 32768
+
+# A window attempt costs a fixed handful of numpy calls, worth roughly
+# _SHORT scalar events.  Windows shorter than that are a net loss, so
+# every short window buys an exponentially growing run of scalar-only
+# events before the next attempt -- on miss-heavy tapes (short hit runs)
+# the backend converges to scalar speed instead of paying the attempt
+# overhead at every miss.
+_SHORT = 64
+_MIN_COOLDOWN = 64
+_MAX_COOLDOWN = 4096
+
+DEBUG = None  # set to a dict to collect window statistics
+
+
+def run(interleaver, max_cycles: Optional[int]) -> int:
+    """Drop-in replacement for ``TimingInterleaver._run_fast``."""
+    self = interleaver
+    system = self.system
+    config = system.config
+    # The vector window is only provably exact on a single-processor
+    # machine with single-cycle banks; anywhere else this tier would pay
+    # the decode without ever vectorizing, so hand the run to the python
+    # loop outright (identical semantics, zero overhead).
+    if (config.total_processors != 1
+            or system.clusters[0].scc.interconnect.bank_cycle_time != 1):
+        return self._run_fast(max_cycles)
+    heap = self._heap
+    processes = self._processes
+    n_cl = config.clusters
+    cl_scc = [cluster.scc for cluster in system.clusters]
+    cl_states = [scc.array._states for scc in cl_scc]
+    cl_tags = [scc.array._tags for scc in cl_scc]
+    cl_icn = [scc.interconnect for scc in cl_scc]
+    cl_bank_free = [icn._bank_free for icn in cl_icn]
+    cl_wbufs = [icn._write_buffers for icn in cl_icn]
+    cl_inflight = [scc._inflight for scc in cl_scc]
+    cl_reserve = [icn.reserve_write_slot for icn in cl_icn]
+    nbanks = cl_icn[0].num_banks
+    bank_cycle = cl_icn[0].bank_cycle_time
+    idx_mask = self._idx_mask
+    tag_shift = self._tag_shift
+    line_shift = config.line_offset_bits
+    coherence = system.coherence
+    read_miss = coherence.read_miss
+    write_line = coherence.write_line
+    stall_on_writes = config.stall_on_writes
+    proc_cluster = self._proc_cluster
+    procs = system._procs
+    nproc = config.total_processors
+    queues = self._queues
+    ifetch = system.ifetch
+    model_icache = config.model_icache
+    ic_objs = None
+    iline_shift = 0
+    if model_icache:
+        iline = config.icache_line_size
+        if iline > 0 and iline & (iline - 1) == 0:
+            iline_shift = iline.bit_length() - 1
+            caches = [system.clusters[proc_cluster[p]]
+                      .icaches[config.port_of(p)]
+                      for p in range(nproc)]
+            if all(ic.array._index_mask for ic in caches):
+                ic_objs = caches
+                ic_states = [ic.array._states for ic in caches]
+                ic_tags = [ic.array._tags for ic in caches]
+                ic_mask = [ic.array._index_mask for ic in caches]
+                ic_shift = [ic.array._tag_shift for ic in caches]
+    if not model_icache:
+        icache_mode = 0
+    elif ic_objs is not None:
+        icache_mode = 1
+    else:
+        icache_mode = 2
+
+    # Zero-copy int64 views over the shared array('q') storage: python
+    # callbacks (misses, installs) and vector scatters mutate the same
+    # memory, so neither side ever sees stale data.
+    np_states = [np.frombuffer(s, dtype=np.int64) for s in cl_states]
+    np_tags = [np.frombuffer(t, dtype=np.int64) for t in cl_tags]
+    np_bank_free = [np.frombuffer(b, dtype=np.int64)
+                    for b in cl_bank_free]
+    if icache_mode == 1:
+        np_ic_states = [np.frombuffer(s, dtype=np.int64)
+                        for s in ic_states]
+        np_ic_tags = [np.frombuffer(t, dtype=np.int64) for t in ic_tags]
+
+    # The vector window is only provably exact on a single-processor
+    # machine with single-cycle banks (see module docstring).
+    vec_ok = nproc == 1 and bank_cycle == 1
+
+    # Conservative upper bound on every pending slow-event side effect:
+    # in-flight fill ready times, write-buffer retire times, bank-free
+    # residue.  Start from any pre-existing state so a reused system
+    # cannot open a window early.
+    slow_bound = 0
+    for infl in cl_inflight:
+        if infl:
+            slow_bound = max(slow_bound, max(infl.values()))
+    for bufs in cl_wbufs:
+        for buf in bufs:
+            if buf:
+                slow_bound = max(slow_bound, max(buf))
+    for bfree in cl_bank_free:
+        if len(bfree):
+            slow_bound = max(slow_bound, max(bfree))
+
+    wb_scratch = np.empty(nbanks, dtype=np.int64)
+    dec_cache = {}
+
+    pop = heapq.heappop
+    pushpop = heapq.heappushpop
+    advance = self._advance
+    limit = _NO_LIMIT if max_cycles is None else max_cycles
+    ev = 0
+    d_reads = [0] * n_cl
+    d_writes = [0] * n_cl
+    d_conf = [0] * n_cl
+    d_wbuf = [0] * n_cl
+    d_refs = [0] * nproc
+    d_busy = [0] * nproc
+    d_stall = [0] * nproc
+    d_finish = [-1] * nproc
+    finish_time = 0
+    pending = -1
+    blk = _MIN_BLOCK
+    cooldown = _MIN_COOLDOWN
+    scalar_budget = 0
+    try:
+        while True:
+            if pending >= 0:
+                pid = pending
+                pending = -1
+                process = processes[pid]
+            else:
+                if not heap:
+                    break
+                pid = pop(heap)[2]
+                process = processes[pid]
+                process.in_heap = False
+            if process.chunk is None:
+                finish = advance(process, max_cycles)
+                if finish is not None and finish > finish_time:
+                    finish_time = finish
+                if process.chunk is None:
+                    continue
+            # ---- drain decoded chunks inline, switching in-frame ------
+            chunk = process.chunk
+            dec = dec_cache.get(pid)
+            if dec is None or dec.source is not chunk:
+                dec = decode_chunk(chunk, line_shift, idx_mask, tag_shift,
+                                   nbanks, icache_mode, iline_shift)
+                dec.source = chunk
+                dec_cache[pid] = dec
+            e = dec.cursor_for(process.chunk_pos, process.chunk_sub)
+            kind = dec.kind
+            A = dec.a
+            Bv = dec.b
+            mf = dec.maybe_fast_list
+            n_ev = dec.n
+            time = process.time
+            cl = proc_cluster[pid]
+            states = cl_states[cl]
+            tags = cl_tags[cl]
+            bank_free = cl_bank_free[cl]
+            inflight = cl_inflight[cl]
+            scc = cl_scc[cl]
+            reserve = cl_reserve[cl]
+            wbufs = cl_wbufs[cl]
+            st_np = np_states[cl]
+            tg_np = np_tags[cl]
+            bf_np = np_bank_free[cl]
+            next_time = heap[0][0] if heap else _NO_LIMIT
+            while True:
+                yielded = False
+                while e < n_ev:
+                    # ---- vectorized fast-forward over quiet hit runs --
+                    if (vec_ok and mf[e] and slow_bound <= time <= limit
+                            and not heap):
+                        if scalar_budget > 0:
+                            scalar_budget -= 1
+                            vec_try = False
+                        else:
+                            vec_try = True
+                    else:
+                        vec_try = False
+                    if vec_try:
+                        if DEBUG is not None:
+                            DEBUG["attempts"] = DEBUG.get("attempts", 0) + 1
+                        while e < n_ev:
+                            hi = e + blk
+                            if hi > n_ev:
+                                hi = n_ev
+                            s1 = slice(e, hi)
+                            idx_b = dec.idx[s1]
+                            st_g = st_np[idx_b]
+                            tagm = tg_np[idx_b] == dec.tag[s1]
+                            rd = dec.is_read[s1]
+                            wr = dec.is_write[s1]
+                            fast = (dec.maybe_fast[s1]
+                                    & (((st_g != 0) & tagm) | ~rd)
+                                    & (((st_g >= MODIFIED) & tagm) | ~wr))
+                            if icache_mode == 1:
+                                fmask = dec.is_ifetch[s1]
+                                if fmask.any():
+                                    fi = dec.il_first[s1]
+                                    la = dec.il_last[s1]
+                                    ist = np_ic_states[pid]
+                                    itg = np_ic_tags[pid]
+                                    imask = ic_mask[pid]
+                                    ishift = ic_shift[pid]
+                                    ok_i = ((ist[fi & imask] != 0)
+                                            & (itg[fi & imask]
+                                               == fi >> ishift)
+                                            & (ist[la & imask] != 0)
+                                            & (itg[la & imask]
+                                               == la >> ishift)
+                                            & (la - fi < 2))
+                                    fast &= ok_i | ~fmask
+                            nf = np.flatnonzero(~fast)
+                            full = not nf.size
+                            L = hi - e if full else int(nf[0])
+                            if L == 0:
+                                blk = _MIN_BLOCK
+                                scalar_budget = cooldown
+                                if cooldown < _MAX_COOLDOWN:
+                                    cooldown <<= 1
+                                break
+                            cum = np.cumsum(dec.adv[e:e + L])
+                            total = int(cum[-1])
+                            if time + total > limit:
+                                # Run only events whose pre-event time
+                                # stays within the limit; the next scalar
+                                # iteration raises exactly like the
+                                # python loop.
+                                kv = int(np.searchsorted(
+                                    cum, limit - time, side="right"))
+                                L = kv + 1
+                                cum = cum[:L]
+                                total = int(cum[-1])
+                                full = False
+                            s2 = slice(e, e + L)
+                            rd2 = dec.is_read[s2]
+                            wr2 = dec.is_write[s2]
+                            n_r = int(rd2.sum())
+                            n_w = int(wr2.sum())
+                            if n_r:
+                                d_reads[cl] += n_r
+                            if n_w:
+                                d_writes[cl] += n_w
+                                st_np[dec.idx[s2][wr2]] = MODIFIED
+                            nd = n_r + n_w
+                            if nd:
+                                datam = rd2 | wr2
+                                dpost = time + cum[datam]
+                                d_refs[pid] += nd
+                                d_finish[pid] = int(dpost[-1])
+                                np.maximum.at(bf_np, dec.bank[s2][datam],
+                                              dpost)
+                                if n_w and not stall_on_writes:
+                                    wb_scratch[:] = -1
+                                    np.maximum.at(wb_scratch,
+                                                  dec.bank[s2][wr2],
+                                                  time + cum[wr2])
+                                    for bnk in np.flatnonzero(
+                                            wb_scratch >= 0):
+                                        buf = wbufs[bnk]
+                                        buf.clear()
+                                        buf.append(int(wb_scratch[bnk]))
+                            if icache_mode == 1:
+                                fm2 = dec.is_ifetch[s2]
+                                if fm2.any():
+                                    ic_objs[pid].fetch_lines += int(
+                                        (dec.il_last[s2][fm2]
+                                         - dec.il_first[s2][fm2]
+                                         + 1).sum())
+                            d_busy[pid] += total
+                            time += total
+                            ev += L
+                            e += L
+                            if DEBUG is not None:
+                                DEBUG["vec_events"] = (
+                                    DEBUG.get("vec_events", 0) + L)
+                            if L >= _SHORT:
+                                cooldown = _MIN_COOLDOWN
+                            else:
+                                scalar_budget = cooldown
+                                if cooldown < _MAX_COOLDOWN:
+                                    cooldown <<= 1
+                            if not full:
+                                blk = _MIN_BLOCK
+                                break
+                            if blk < _MAX_BLOCK:
+                                blk <<= 1
+                        if e >= n_ev:
+                            break
+                    op = kind[e]
+                    if op == OP_READ or op == OP_WRITE or op == OP_COMPUTE:
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        operand = A[e]
+                        e += 1
+                        ev += 1
+                        if op == OP_COMPUTE:
+                            if operand:
+                                d_busy[pid] += operand
+                                time += operand
+                                if time > next_time:
+                                    yielded = True
+                                    break
+                            continue
+                        line = operand >> line_shift
+                        bank = line % nbanks
+                        free = bank_free[bank]
+                        if free > time:
+                            d_conf[cl] += free - time
+                            start = free
+                        else:
+                            start = time
+                        bank_free[bank] = start + bank_cycle
+                        idx = line & idx_mask
+                        if op == OP_READ:
+                            if (states[idx]
+                                    and tags[idx] == line >> tag_shift):
+                                d_reads[cl] += 1
+                                if inflight:
+                                    ready = inflight.get(line)
+                                    if ready is None:
+                                        done = start + 1
+                                    elif ready <= start:
+                                        del inflight[line]
+                                        done = start + 1
+                                    else:
+                                        done = ready + 1
+                                else:
+                                    done = start + 1
+                            else:
+                                done = read_miss(scc, line, start)
+                                if done > slow_bound:
+                                    slow_bound = done
+                        else:
+                            if (states[idx] >= MODIFIED
+                                    and tags[idx] == line >> tag_shift):
+                                states[idx] = MODIFIED
+                                d_writes[cl] += 1
+                                if inflight:
+                                    ready = inflight.get(line)
+                                    if ready is None:
+                                        done = start + 1
+                                    elif ready <= start:
+                                        del inflight[line]
+                                        done = start + 1
+                                    else:
+                                        done = ready + 1
+                                else:
+                                    done = start + 1
+                                if not stall_on_writes:
+                                    stall = reserve(bank, done, done)
+                                    d_wbuf[cl] += stall
+                                    done += stall
+                                    if done > slow_bound:
+                                        slow_bound = done
+                            else:
+                                outcome = write_line(scc, line, start)
+                                done = outcome.complete
+                                if stall_on_writes:
+                                    if outcome.retire > done:
+                                        done = outcome.retire
+                                else:
+                                    stall = reserve(bank, done,
+                                                    outcome.retire)
+                                    d_wbuf[cl] += stall
+                                    done += stall
+                                if outcome.retire > slow_bound:
+                                    slow_bound = outcome.retire
+                                if done > slow_bound:
+                                    slow_bound = done
+                        d_refs[pid] += 1
+                        d_busy[pid] += 1
+                        d_stall[pid] += done - time - 1
+                        d_finish[pid] = done
+                        time = done
+                        if time > next_time:
+                            yielded = True
+                            break
+                    elif op == OP_IFETCH:
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        ev += 1
+                        count = Bv[e]
+                        if not model_icache:
+                            d_busy[pid] += count
+                            time += count
+                        elif ic_objs is not None:
+                            addr = A[e]
+                            iline_no = addr >> iline_shift
+                            ilast = (addr + count * 4 - 1) >> iline_shift
+                            istates = ic_states[pid]
+                            itags = ic_tags[pid]
+                            imask = ic_mask[pid]
+                            ishift = ic_shift[pid]
+                            while iline_no <= ilast:
+                                idxi = iline_no & imask
+                                if (istates[idxi] and itags[idxi]
+                                        == iline_no >> ishift):
+                                    iline_no += 1
+                                else:
+                                    break
+                            if iline_no > ilast:
+                                ic_objs[pid].fetch_lines += (
+                                    ilast - (addr >> iline_shift) + 1)
+                                d_busy[pid] += count
+                                time += count
+                            else:
+                                time = ifetch(pid, addr, count, time)
+                        else:
+                            time = ifetch(pid, A[e], count, time)
+                        e += 1
+                        if time > next_time:
+                            yielded = True
+                            break
+                    elif op == OP_ENQUEUE:
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        ev += 1
+                        queues.setdefault(A[e], deque()).append(Bv[e])
+                        e += 1
+                    elif op == OP_DEQUEUE:
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        ev += 1
+                        queue = queues.get(A[e])
+                        if queue:
+                            queue.popleft()
+                        e += 1
+                    else:
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        ev += 1
+                        process.time = time
+                        if op == OP_LOCK_ACQ:
+                            self._lock_acquire(process, A[e])
+                        elif op == OP_LOCK_REL:
+                            self._lock_release(process, A[e])
+                        else:
+                            self._barrier(process, A[e], Bv[e])
+                        e += 1
+                        time = process.time
+                        if process.blocked or process.in_heap:
+                            yielded = True
+                            break
+                        next_time = heap[0][0] if heap else _NO_LIMIT
+                        if time > next_time:
+                            yielded = True
+                            break
+                if not yielded:
+                    if dec.bad_pos is not None:
+                        # Mirror the python loop byte for byte: the limit
+                        # check wins, and the event count includes the
+                        # opcode that failed to decode.
+                        if time > limit:
+                            raise RuntimeError(
+                                f"simulation exceeded {max_cycles} "
+                                f"cycles")
+                        ev += 1
+                        bad = dec.bad_pos
+                        bad_op = chunk[bad]
+                        process.time = time
+                        if bad_op in (OP_READ_SPAN, OP_WRITE_SPAN):
+                            raise ValueError(
+                                f"non-positive span stride at {bad}")
+                        raise ValueError(
+                            f"unknown packed opcode {bad_op} at {bad}")
+                    process.time = time
+                    process.chunk = None
+                    process.chunk_pos = 0
+                    process.chunk_sub = 0
+                    finish = advance(process, max_cycles)
+                    if finish is not None:
+                        if finish > finish_time:
+                            finish_time = finish
+                        break
+                    if process.chunk is None:
+                        break
+                    chunk = process.chunk
+                    dec = dec_cache.get(pid)
+                    if dec is None or dec.source is not chunk:
+                        dec = decode_chunk(chunk, line_shift, idx_mask,
+                                           tag_shift, nbanks, icache_mode,
+                                           iline_shift)
+                        dec.source = chunk
+                        dec_cache[pid] = dec
+                    e = 0
+                    kind = dec.kind
+                    A = dec.a
+                    Bv = dec.b
+                    mf = dec.maybe_fast_list
+                    n_ev = dec.n
+                    time = process.time
+                    next_time = heap[0][0] if heap else _NO_LIMIT
+                    continue
+                process.time = time
+                if e:
+                    process.chunk_pos = dec.after_i[e - 1]
+                    process.chunk_sub = dec.after_sub[e - 1]
+                else:
+                    process.chunk_pos = 0
+                    process.chunk_sub = 0
+                if process.blocked or process.in_heap:
+                    break
+                self._seq += 1
+                process.in_heap = True
+                npid = pushpop(heap, (time, self._seq, pid))[2]
+                process = processes[npid]
+                process.in_heap = False
+                if process.chunk is None:
+                    pending = npid
+                    break
+                pid = npid
+                chunk = process.chunk
+                dec = dec_cache.get(pid)
+                if dec is None or dec.source is not chunk:
+                    dec = decode_chunk(chunk, line_shift, idx_mask,
+                                       tag_shift, nbanks, icache_mode,
+                                       iline_shift)
+                    dec.source = chunk
+                    dec_cache[pid] = dec
+                e = dec.cursor_for(process.chunk_pos, process.chunk_sub)
+                kind = dec.kind
+                A = dec.a
+                Bv = dec.b
+                mf = dec.maybe_fast_list
+                n_ev = dec.n
+                time = process.time
+                cl = proc_cluster[pid]
+                states = cl_states[cl]
+                tags = cl_tags[cl]
+                bank_free = cl_bank_free[cl]
+                inflight = cl_inflight[cl]
+                scc = cl_scc[cl]
+                reserve = cl_reserve[cl]
+                wbufs = cl_wbufs[cl]
+                st_np = np_states[cl]
+                tg_np = np_tags[cl]
+                bf_np = np_bank_free[cl]
+                next_time = heap[0][0] if heap else _NO_LIMIT
+    finally:
+        self.events_processed += ev
+        for c in range(n_cl):
+            sstats = cl_scc[c].stats
+            if d_reads[c]:
+                sstats.reads += d_reads[c]
+            if d_writes[c]:
+                sstats.writes += d_writes[c]
+            if d_conf[c]:
+                sstats.bank_conflict_cycles += d_conf[c]
+                cl_icn[c].conflict_cycles += d_conf[c]
+            if d_wbuf[c]:
+                sstats.write_buffer_stall_cycles += d_wbuf[c]
+        for p in range(nproc):
+            refs = d_refs[p]
+            busy = d_busy[p]
+            if refs or busy:
+                pstats = procs[p].stats
+                pstats.references += refs
+                pstats.instructions += busy
+                pstats.busy_cycles += busy
+                pstats.memory_stall_cycles += d_stall[p]
+            if d_finish[p] > procs[p].finish_time:
+                procs[p].finish_time = d_finish[p]
+    return finish_time

@@ -49,6 +49,7 @@ from ..core.cache import DirectMappedArray, MODIFIED
 from ..core.coherence import CoherenceController
 from ..core.system import MultiprocessorSystem
 from ..instrument.probes import NULL_PROBE
+from .engine import resolve_backend
 from .events import (Barrier, Compute, Ifetch, LockAcquire, LockRelease,
                      Read, TaskDequeue, TaskEnqueue, TraceEvent, Write)
 from .packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE, OP_ENQUEUE,
@@ -139,7 +140,8 @@ class TimingInterleaver:
     def __init__(self, system: MultiprocessorSystem,
                  lock_overhead: Optional[int] = None,
                  barrier_overhead: Optional[int] = None,
-                 observer=None, force_generic: bool = False):
+                 observer=None, force_generic: bool = False,
+                 backend: Optional[str] = None):
         self.system = system
         self.observer = observer
         """Optional event observer (e.g.
@@ -183,6 +185,15 @@ class TimingInterleaver:
                                   for p in range(config.total_processors)]
             self._idx_mask = lines - 1
             self._tag_shift = lines.bit_length() - 1
+        # Replay backend for the fast path (repro.trace.engine): an
+        # execution knob, never an identity knob -- every backend is
+        # fingerprint-identical, so results and cache keys do not depend
+        # on it.  ``None`` defers to $REPRO_ENGINE (default ``auto``).
+        self.backend_requested = backend
+        self.backend = resolve_backend(backend)
+        self.engine_used: Optional[str] = None
+        """Concrete engine the last :meth:`run` executed on
+        (``generic``/``python``/``numpy``/``native``)."""
 
     # ------------------------------------------------------------------
     # Setup
@@ -215,8 +226,25 @@ class TimingInterleaver:
         if not self._processes:
             raise RuntimeError("no processes registered")
         if self._fast_ok:
-            finish_time = self._run_fast(max_cycles)
+            backend = self.backend
+            if backend == "native":
+                from .engine import native as native_backend
+                if native_backend.load() is not None:
+                    self.engine_used = "native"
+                    finish_time = native_backend.run(self, max_cycles)
+                else:
+                    # The extension disappeared after resolution (e.g.
+                    # cache cleared mid-process); degrade like auto.
+                    backend = self.backend = resolve_backend("auto")
+            if backend == "numpy":
+                from .engine import numpy_backend
+                self.engine_used = "numpy"
+                finish_time = numpy_backend.run(self, max_cycles)
+            elif backend == "python":
+                self.engine_used = "python"
+                finish_time = self._run_fast(max_cycles)
         else:
+            self.engine_used = "generic"
             finish_time = self._run_generic(max_cycles)
         unfinished = [p.pid for p in self._processes.values()
                       if not p.finished]

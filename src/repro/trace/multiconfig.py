@@ -72,6 +72,7 @@ with no timing claims.
 
 from __future__ import annotations
 
+from array import array as _qarray_type
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -86,6 +87,11 @@ from ..core.system import MultiprocessorSystem
 
 __all__ = ["fused_ladder_supported", "fused_ladder_results",
            "per_process_miss_surface", "MissSurfacePoint"]
+
+
+def _qarray(values) -> "_qarray_type":
+    """Signed-64 array from an iterable (tag-array writeback helper)."""
+    return _qarray_type("q", values)
 
 
 def fused_ladder_supported(configs: Sequence[SystemConfig]) -> bool:
@@ -718,8 +724,10 @@ def _fused_pass(ladder: List[SystemConfig],
             icache = system.clusters[0].icaches[0]
             icache.misses += ic_misses
             icache.fetch_lines += ic_fetch_lines
-            icache.array._states[:] = ic_states
-            icache.array._tags[:] = ic_tags
+            # The icache tag array stores array('q'); slice-assign needs a
+            # matching array, not the plain lists the fused loop tracked.
+            icache.array._states[:] = _qarray(ic_states)
+            icache.array._tags[:] = _qarray(ic_tags)
         times[s] = base + skew[s]
     return ev, times
 

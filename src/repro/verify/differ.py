@@ -11,6 +11,11 @@ exposes:
   automatically whenever the machine qualifies); compared on cycle
   counts, per-cluster statistics, bus counters, and final tag/state
   arrays.
+* **numpy** / **native** -- the replay backends from
+  :mod:`repro.trace.engine`, run through the same packed fast path with
+  ``backend=`` forced; compared on the full fingerprint.  Backends are
+  discovered through :func:`engine_registry`, so a new backend is diffed
+  automatically once it reports itself available.
 * **fused** -- the multi-configuration ladder engine, run as a
   two-rung ladder and compared on its bottom rung (final arrays are
   internal to the fused engine, so the diff covers statistics and
@@ -25,17 +30,19 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.system import MultiprocessorSystem
+from ..trace.engine import available_backends
 from ..trace.interleave import TimingInterleaver, fused_replay_ok
 from ..trace.multiconfig import fused_ladder_results, fused_ladder_supported
 from ..trace.packed import PackedChunk
 from .oracle import FunctionalOracle
 from .tapes import Tape
 
-__all__ = ["DEFAULT_MAX_CYCLES", "PathResult", "TapeDivergence",
-           "diff_tape", "fused_eligible", "run_tape"]
+__all__ = ["DEFAULT_MAX_CYCLES", "EngineSpec", "PathResult",
+           "TapeDivergence", "diff_tape", "engine_registry",
+           "fused_eligible", "run_tape"]
 
 DEFAULT_MAX_CYCLES = 10_000_000
 """Simulated-cycle bound per path; a runaway engine shows up as a
@@ -52,9 +59,14 @@ class PathResult:
 
     fingerprint: Optional[Dict[str, object]] = None
     fast_engaged: Optional[bool] = None
-    """For the ``fast`` path: whether ``_run_fast`` actually ran (the
+    """For packed-path engines: whether the fast path actually ran (the
     interleaver falls back to the generic loop for e.g. set-associative
     arrays, making the comparison trivially green)."""
+
+    engine_used: Optional[str] = None
+    """The interleaver's resolved backend, for diagnosing silent
+    fallbacks (a ``native`` run that degraded to ``python`` would
+    otherwise pass trivially)."""
 
 
 @dataclass
@@ -83,6 +95,46 @@ def _chunk_processes(interleaver: TimingInterleaver, tape: Tape) -> None:
                                                              stream))]))
 
 
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine the differ compares against the generic baseline."""
+
+    name: str
+    sections: Tuple[str, ...]
+    applies: "Callable[[Tape], bool]"
+
+
+def _always(tape: Tape) -> bool:
+    return True
+
+
+_FULL = ("events", "stats", "bus", "arrays")
+
+#: Packed-path replay backends, keyed by differ mode name.  ``fast`` is
+#: the python reference loop; the rest come from repro.trace.engine.
+_BACKEND_MODES = {"fast": "python", "numpy": "numpy", "native": "native"}
+
+
+def engine_registry() -> Dict[str, EngineSpec]:
+    """Engines to diff against the generic loop, in comparison order.
+
+    Replay backends register themselves by being available: a freshly
+    built native extension is picked up here without any differ change,
+    which is what keeps "every backend is diffed" a structural property
+    rather than a checklist item.
+    """
+    registry: Dict[str, EngineSpec] = {
+        "oracle": EngineSpec("oracle", _FULL, _always),
+        "fast": EngineSpec("fast", _FULL, _always),
+    }
+    for backend in available_backends():
+        if backend != "python":
+            registry[backend] = EngineSpec(backend, _FULL, _always)
+    registry["fused"] = EngineSpec("fused", ("events", "stats"),
+                                   fused_eligible)
+    return registry
+
+
 def run_tape(tape: Tape, mode: str,
              max_cycles: int = DEFAULT_MAX_CYCLES) -> PathResult:
     """Execute ``tape`` through one engine; never raises for engine
@@ -91,15 +143,16 @@ def run_tape(tape: Tape, mode: str,
     config = tape.config()
     if mode == "fused":
         return _run_fused(tape, config)
-    if mode not in ("generic", "fast", "oracle"):
+    if mode not in ("generic", "oracle") and mode not in _BACKEND_MODES:
         raise ValueError(f"unknown differ mode {mode!r}")
     system = MultiprocessorSystem(config)
     oracle = FunctionalOracle(system) if mode == "oracle" else None
     interleaver = TimingInterleaver(system, observer=oracle,
-                                    force_generic=(mode == "generic"))
+                                    force_generic=(mode == "generic"),
+                                    backend=_BACKEND_MODES.get(mode))
     _chunk_processes(interleaver, tape)
     result = PathResult(name=mode)
-    if mode == "fast":
+    if mode in _BACKEND_MODES:
         result.fast_engaged = interleaver._fast_ok
     try:
         execution_time = interleaver.run(max_cycles=max_cycles)
@@ -108,7 +161,9 @@ def run_tape(tape: Tape, mode: str,
         system.check_invariants()
     except Exception as exc:  # diffed, not propagated
         result.error = (type(exc).__name__, str(exc))
+        result.engine_used = interleaver.engine_used
         return result
+    result.engine_used = interleaver.engine_used
     stats = system.stats(execution_time)
     bus = system.coherence.bus
     result.fingerprint = {
@@ -196,15 +251,12 @@ def diff_tape(tape: Tape,
     """Run every applicable engine over ``tape``; the first divergence
     found, or ``None`` when all engines agree."""
     generic = run_tape(tape, "generic", max_cycles)
-    full = ("events", "stats", "bus", "arrays")
-    for mode, sections in (("oracle", full), ("fast", full)):
+    for spec in engine_registry().values():
+        if not spec.applies(tape):
+            continue
         divergence = _compare(tape, generic,
-                              run_tape(tape, mode, max_cycles), sections)
-        if divergence is not None:
-            return divergence
-    if fused_eligible(tape):
-        divergence = _compare(tape, generic, run_tape(tape, "fused"),
-                              ("events", "stats"))
+                              run_tape(tape, spec.name, max_cycles),
+                              spec.sections)
         if divergence is not None:
             return divergence
     return None

@@ -37,7 +37,7 @@ def no_trace_stage(monkeypatch):
     from repro.experiments import session
 
     def passthrough(benchmark, profile, configs, missing, sweep, cache,
-                    instrument, trace_cache, fused=True):
+                    instrument, trace_cache, fused=True, backend=None):
         return missing
 
     monkeypatch.setattr(session, "_resolve_via_traces", passthrough)
@@ -72,7 +72,8 @@ class RecordingCompute:
         self.fail = dict(fail)  # point -> times to raise before success
         self.calls = []
 
-    def __call__(self, benchmark, profile, config, instrument, point):
+    def __call__(self, benchmark, profile, config, instrument, point,
+                 backend=None):
         self.calls.append(point)
         if self.fail.get(point, 0) > 0:
             self.fail[point] -= 1

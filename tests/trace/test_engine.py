@@ -1,0 +1,205 @@
+"""Unit tests for the replay-engine registry and the batch decoder.
+
+The cross-backend *timing* equivalence lives in ``tests/equivalence``
+and the fuzz corpus; this module covers the selection machinery
+(:mod:`repro.trace.engine`) and the vectorized chunk decoder
+(:mod:`repro.trace.engine.flatten`) -- the two pieces with behavior of
+their own beyond "same numbers as the python loop".
+"""
+
+import random
+from array import array
+
+import pytest
+
+import repro.trace.engine.flatten as flatten
+from repro.trace.engine import (BACKEND_CHOICES, available_backends,
+                                backend_info, native_available,
+                                numpy_available, resolve_backend)
+from repro.trace.engine.flatten import decode_chunk
+from repro.trace.packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE,
+                                OP_ENQUEUE, OP_IFETCH, OP_LOCK_ACQ,
+                                OP_LOCK_REL, OP_READ, OP_READ_SPAN,
+                                OP_WRITE, OP_WRITE_SPAN)
+
+GEOM = dict(line_shift=5, idx_mask=0x3F, tag_shift=6, nbanks=4,
+            icache_mode=1, iline_shift=5)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+class TestResolveBackend:
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown replay backend"):
+            resolve_backend("fortran")
+
+    def test_env_var_is_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert resolve_backend() == "python"
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        with pytest.raises(ValueError):
+            resolve_backend()
+
+    def test_explicit_request_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        assert resolve_backend("python") == "python"
+
+    def test_auto_resolves_to_an_available_backend(self):
+        assert resolve_backend("auto") in available_backends()
+
+    def test_requests_degrade_down_the_ladder(self, monkeypatch):
+        import repro.trace.engine as engine
+        monkeypatch.setattr(engine, "native_available", lambda: False)
+        monkeypatch.setattr(engine, "numpy_available", lambda: False)
+        assert engine.resolve_backend("native") == "python"
+        assert engine.resolve_backend("numpy") == "python"
+        with pytest.raises(RuntimeError):
+            engine.resolve_backend("numpy", strict=True)
+
+    def test_python_is_always_available(self):
+        assert "python" in available_backends()
+        assert set(available_backends()) <= set(BACKEND_CHOICES)
+
+    def test_backend_info_shape(self):
+        info = backend_info()
+        assert info["resolved"] in info["available"]
+        if numpy_available():
+            assert "numpy_version" in info
+        if native_available():
+            assert "native_version" in info
+        else:
+            assert info["native_error"]
+
+
+def test_differ_registry_covers_available_backends():
+    from repro.verify.differ import engine_registry
+    registry = engine_registry()
+    assert {"oracle", "fast", "fused"} <= set(registry)
+    for name in available_backends():
+        if name != "python":
+            assert name in registry, (
+                f"backend {name} is importable but never diffed")
+
+
+# ----------------------------------------------------------------------
+# Batch decoder
+# ----------------------------------------------------------------------
+
+def random_stream(rng, n_ops, valid=True):
+    """A syntactically valid packed stream with every opcode family."""
+    buf = array("q")
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.45:
+            buf.extend((rng.choice((OP_READ, OP_WRITE)),
+                        rng.randrange(1 << 20)))
+        elif roll < 0.55:
+            buf.extend((OP_COMPUTE, rng.randrange(50)))
+        elif roll < 0.70:
+            buf.extend((OP_IFETCH, rng.randrange(1 << 16),
+                        rng.randrange(1, 16)))
+        elif roll < 0.80:
+            buf.extend((rng.choice((OP_READ_SPAN, OP_WRITE_SPAN)),
+                        rng.randrange(1 << 16),
+                        rng.randrange(0, 400),
+                        rng.randrange(1, 64)))
+        elif roll < 0.90:
+            buf.extend((rng.choice((OP_LOCK_ACQ, OP_LOCK_REL,
+                                    OP_DEQUEUE)),
+                        rng.randrange(8)))
+        elif roll < 0.95:
+            buf.extend((OP_BARRIER, rng.randrange(4), rng.randrange(1, 5)))
+        else:
+            buf.extend((OP_ENQUEUE, rng.randrange(4), rng.randrange(100)))
+    return buf
+
+
+def columns(dec):
+    return (dec.n, dec.kind, dec.a, dec.b, dec.after_i, dec.after_sub,
+            dec.bad_pos)
+
+
+def scalar_reference(data):
+    """Decode through the scalar fallback path regardless of size."""
+    out = flatten.DecodedChunk()
+    flatten._scalar_columns(out, list(data))
+    out.n = len(out.kind)
+    return out
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_vector_decode_matches_scalar(seed):
+    rng = random.Random(seed)
+    data = random_stream(rng, 400)
+    assert len(data) >= flatten._VECTOR_MIN_INTS
+    dec = decode_chunk(data, **GEOM)
+    ref = scalar_reference(data)
+    assert columns(dec)[:-1] == (ref.n, ref.kind, ref.a, ref.b,
+                                 ref.after_i, ref.after_sub)
+    assert dec.bad_pos is None
+
+
+def test_unknown_opcode_sets_bad_pos():
+    data = array("q", [OP_READ, 32, 99, 7, OP_READ, 64])
+    data.extend([OP_COMPUTE, 1] * 200)     # force the vector decoder
+    dec = decode_chunk(data, **GEOM)
+    assert dec.bad_pos == 2
+    assert dec.n == 1                      # only the event before it
+    assert columns(dec) == columns(scalar_reference(data))
+
+
+def test_bad_span_stride_sets_bad_pos():
+    data = array("q", [OP_READ, 32, OP_READ_SPAN, 0, 64, 0])
+    data.extend([OP_COMPUTE, 1] * 200)
+    dec = decode_chunk(data, **GEOM)
+    assert dec.bad_pos == 2
+    assert columns(dec) == columns(scalar_reference(data))
+
+
+def test_truncated_stream_raises_index_error():
+    data = array("q", [OP_COMPUTE, 1] * 200 + [OP_IFETCH, 4])
+    with pytest.raises(IndexError):
+        decode_chunk(data, **GEOM)
+    with pytest.raises(IndexError):
+        scalar_reference(data)
+
+
+def test_span_expansion_and_resume_positions():
+    data = array("q", [OP_READ_SPAN, 100, 10, 4])
+    data.extend([OP_COMPUTE, 1] * 200)
+    dec = decode_chunk(data, **GEOM)
+    assert dec.a[:3] == [100, 104, 108]
+    assert dec.kind[:3] == [OP_READ] * 3
+    # Mid-span resume positions point back into the span opcode.
+    assert dec.after_i[:3] == [0, 0, 4]
+    assert dec.after_sub[:3] == [4, 8, 0]
+    assert dec.cursor_for(0, 4) == 1
+    assert dec.cursor_for(0, 8) == 2
+    assert dec.cursor_for(4, 0) == 3
+
+
+class TestDecodeCache:
+    def test_same_array_same_geometry_hits(self):
+        data = random_stream(random.Random(1), 400)
+        first = decode_chunk(data, **GEOM)
+        assert decode_chunk(data, **GEOM) is first
+
+    def test_geometry_change_recomputes(self):
+        data = random_stream(random.Random(2), 400)
+        first = decode_chunk(data, **GEOM)
+        other = decode_chunk(data, **{**GEOM, "idx_mask": 0x1F})
+        assert other is not first
+
+    def test_lists_are_not_cached(self):
+        data = list(random_stream(random.Random(3), 400))
+        assert decode_chunk(data, **GEOM) is not decode_chunk(data, **GEOM)
+
+    def test_entries_die_with_their_stream(self):
+        data = random_stream(random.Random(4), 400)
+        decode_chunk(data, **GEOM)
+        key = id(data)
+        assert key in flatten._DECODE_CACHE
+        del data
+        assert key not in flatten._DECODE_CACHE
