@@ -328,12 +328,16 @@ def _cmd_sweep(args) -> int:
                               default_session_dir, format_size,
                               render_figure, render_figure5,
                               render_figure6, render_speedups)
+    from .trace.engine import engine_degradation
     spec = SweepSpec.from_cli_args(args)
     session = SweepSession(spec, session_dir=default_session_dir(),
                            resume=args.resume,
                            progress=_sweep_progress)
     result = session.run()
     print(result.summary(), flush=True)
+    degraded = engine_degradation(spec.backend)
+    if degraded is not None:
+        print(f"engine: {degraded}", flush=True)
     if result.quarantined:
         print()
         print(f"QUARANTINED {len(result.quarantined)} point(s):")
@@ -672,7 +676,7 @@ def _bench_packed(repeat: int) -> dict:
     return report
 
 
-def _bench_sweep(repeat: int) -> dict:
+def _bench_sweep(repeat: int, backend: Optional[str] = None) -> dict:
     """A miss-rate-vs-cache-size curve (Figure 2/5 style) two ways.
 
     The curve is the multiprogramming workload on one processor across
@@ -693,6 +697,7 @@ def _bench_sweep(repeat: int) -> dict:
                                      InstrumentationProbe, ResultCache)
     from .experiments.session import run_sweep
     from .experiments.spec import SweepSpec
+    from .trace.engine import backend_info
     from .trace.record import TraceCache
     profile = PROFILES["quick"]
     ladder = PAPER_LADDER
@@ -723,7 +728,8 @@ def _bench_sweep(repeat: int) -> dict:
     try:
         trace_cache = TraceCache(scratch / "traces")
         spec = SweepSpec.multiprogramming(profile=profile, ladder=ladder,
-                                          procs=procs, instrument=False)
+                                          procs=procs, instrument=False,
+                                          backend=backend)
         for index in range(max(2, repeat + 1)):
             # Fresh result cache each round so every point simulates or
             # replays; the trace cache stays warm after round one.
@@ -739,6 +745,7 @@ def _bench_sweep(repeat: int) -> dict:
     return {
         "grid": f"multiprogramming quick, ladder={sorted(ladder)}, "
                 f"procs={list(procs)}",
+        "engine": backend_info(backend),
         "baseline_instrumented_generator_s": round(baseline_s, 4),
         "fast_cold_s": round(cold_s, 4),
         "fast_warm_s": round(warm_s, 4),
@@ -748,12 +755,15 @@ def _bench_sweep(repeat: int) -> dict:
     }
 
 
-def _bench_fused(repeat: int) -> dict:
+def _bench_fused(repeat: int, backend: Optional[str] = None) -> dict:
     """The quick multiprogramming ladder with a warm trace cache, two
     ways: one replay per rung (``fused=False``) versus the one-pass
     multi-configuration engine (:mod:`repro.trace.multiconfig`).  Both
     start from the same recorded tape and produce bit-identical
-    RunStats (asserted here); only wall-clock differs.
+    RunStats (asserted here); only wall-clock differs.  Both modes run
+    on the same requested backend, so with the default ``auto`` on a
+    machine with a compiler this is the compiled ladder versus native
+    per-size replay.
     """
     import shutil
     import tempfile
@@ -762,6 +772,8 @@ def _bench_fused(repeat: int) -> dict:
     from .experiments.runner import PAPER_LADDER, PROFILES, ResultCache
     from .experiments.session import run_sweep
     from .experiments.spec import SweepSpec
+    from .trace import multiconfig
+    from .trace.engine import backend_info
     from .trace.record import TraceCache
     profile = PROFILES["quick"]
     ladder = PAPER_LADDER
@@ -772,7 +784,7 @@ def _bench_fused(repeat: int) -> dict:
         trace_cache = TraceCache(scratch / "traces")
         specs = {fused: SweepSpec.multiprogramming(
                      profile=profile, ladder=ladder, procs=procs,
-                     instrument=False, fused=fused)
+                     instrument=False, fused=fused, backend=backend)
                  for fused in (False, True)}
         # Record the row's tape once so both modes run trace-warm.
         reference = run_sweep(specs[False],
@@ -796,6 +808,8 @@ def _bench_fused(repeat: int) -> dict:
     return {
         "grid": f"multiprogramming quick, ladder={sorted(ladder)}, "
                 f"procs={list(procs)}, warm trace cache",
+        "engine": backend_info(backend),
+        "ladder_engine": multiconfig.LAST_LADDER_ENGINE,
         "per_size_warm_s": round(per_size_s, 4),
         "fused_warm_s": round(fused_s, 4),
         "speedup": round(per_size_s / fused_s, 2),
@@ -869,13 +883,17 @@ def _cmd_bench(args) -> int:
     import json
     import platform
     import time
-    from .trace.engine import backend_info
+    from .trace.engine import backend_info, engine_degradation
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "engine": backend_info(args.backend),
     }
+    degraded = engine_degradation(args.backend)
+    if degraded is not None:
+        report["engine_degradation"] = degraded
+        print(f"warning: {degraded}")
     if args.scenario in ("all", "point"):
         print("timing quick Barnes-Hut point "
               "(packed vs event-object path)...")
@@ -902,7 +920,8 @@ def _cmd_bench(args) -> int:
     if args.scenario in ("all", "sweep"):
         print("timing multiprogramming sweep "
               "(trace-cached vs instrumented resimulation)...")
-        report["multiprog_sweep"] = sweep = _bench_sweep(args.repeat)
+        report["multiprog_sweep"] = sweep = _bench_sweep(args.repeat,
+                                                         args.backend)
         print(f"  baseline        : "
               f"{sweep['baseline_instrumented_generator_s']:.3f} s")
         print(f"  fast (cold)     : {sweep['fast_cold_s']:.3f} s "
@@ -912,9 +931,12 @@ def _cmd_bench(args) -> int:
     if args.scenario in ("all", "fused"):
         print("timing fused multi-configuration ladder "
               "(one pass vs per-size replay, warm trace cache)...")
-        report["fused_ladder"] = fused = _bench_fused(args.repeat)
-        print(f"  per-size (warm) : {fused['per_size_warm_s']:.3f} s")
-        print(f"  fused (warm)    : {fused['fused_warm_s']:.3f} s")
+        report["fused_ladder"] = fused = _bench_fused(args.repeat,
+                                                      args.backend)
+        print(f"  per-size (warm) : {fused['per_size_warm_s']:.3f} s "
+              f"({fused['engine']['resolved']} replay)")
+        print(f"  fused (warm)    : {fused['fused_warm_s']:.3f} s "
+              f"({fused['ladder_engine']} ladder)")
         print(f"  speedup         : {fused['speedup']:.2f}x")
     if args.scenario in ("all", "analytical"):
         print("timing analytical surrogate "

@@ -425,7 +425,8 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
             if fused_ladder_supported(row_configs):
                 for point, result in zip(
                         row_points,
-                        fused_ladder_results(row_configs, streams)):
+                        fused_ladder_results(row_configs, streams,
+                                             backend=backend)):
                     resolved[point] = _stats_from_result(result)
                 continue
         for point in row_points:

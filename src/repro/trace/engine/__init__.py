@@ -31,7 +31,8 @@ import os
 from typing import Dict, Optional
 
 __all__ = ["BACKEND_CHOICES", "ENGINE_ENV", "available_backends",
-           "backend_info", "native_available", "numpy_available",
+           "backend_info", "engine_degradation", "native_available",
+           "native_unavailable_reason", "numpy_available",
            "resolve_backend"]
 
 #: Accepted values for ``REPRO_ENGINE`` and every ``backend=`` knob.
@@ -100,6 +101,30 @@ def resolve_backend(request: Optional[str] = None,
     return request
 
 
+def engine_degradation(request: Optional[str] = None) -> Optional[str]:
+    """Human-readable note when resolution lands below the best tier the
+    request allows, or ``None`` when nothing degraded.
+
+    ``auto`` (and an explicit ``native`` request) aim for the native
+    tier, so resolving anything else means a toolchain problem worth
+    surfacing -- the sweep/bench CLIs print this instead of silently
+    running slower.  Explicit ``numpy``/``python`` requests never
+    degrade silently upward of what they asked for.
+    """
+    if request is None:
+        request = os.environ.get(ENGINE_ENV, "").strip() or "auto"
+    request = request.strip().lower()
+    resolved = resolve_backend(request)
+    if request in ("auto", "native") and resolved != "native":
+        reason = native_unavailable_reason() or "unknown"
+        return (f"native tier unavailable ({reason}); "
+                f"running on the {resolved} tier")
+    if request == "numpy" and resolved != "numpy":
+        return (f"numpy tier unavailable; "
+                f"running on the {resolved} tier")
+    return None
+
+
 def available_backends() -> list:
     """Concrete backends importable right now, fastest first."""
     names = []
@@ -126,6 +151,7 @@ def backend_info(request: Optional[str] = None) -> Dict[str, object]:
         info["numpy_version"] = numpy.__version__
     if native_available():
         info["native_version"] = native.NATIVE_VERSION
+        info["native_ladder"] = native.ladder_available()
     else:
         info["native_error"] = native_unavailable_reason()
     return info

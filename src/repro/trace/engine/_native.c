@@ -835,6 +835,789 @@ fail:
     return NULL;
 }
 
+/* ==================================================================== */
+/* Fused multi-configuration ladder (repro.trace.multiconfig)           */
+/* ==================================================================== */
+
+/* Transcription of ``multiconfig._fused_pass``: one pass over a
+ * single-process tape driving every rung of an SCC ladder at once.
+ * Per-size timing is a skew against the shared base clock; hits with no
+ * live fill/write-buffer window anywhere (``hot_n == 0``) cost a single
+ * smallest-size tag probe.  The wrapper
+ * (``multiconfig._fused_pass_native``) owns plan construction, the
+ * python-side synchronization handlers (status 2), and the statistics
+ * flush; every array here is ``array('q')`` storage it allocated.
+ *
+ * Exactness is inherited from the python engine line by line: the same
+ * fold of the shared clock into per-size finish times, the same
+ * hot-window bookkeeping, the same write-buffer heap arithmetic (the
+ * per-size heaps are python lists shared with the flush).  A
+ * non-positive span stride raises ValueError exactly like the decoded
+ * tiers instead of spinning (the ladder has no cycle limit to bail it
+ * out).
+ */
+
+#define ST_SHARED 1     /* repro.core.cache.SHARED */
+
+typedef struct {
+    PyObject *plan;
+    int n_sizes;
+    int released;
+    long long line_shift, nbanks, occ, up_occ, mem_lat, ic_lat, wb_depth;
+    long long install_state, model_icache, il_shift, ic_mask, ic_shift;
+    long long **s_states, **s_tags;
+    long long *s_mask, *s_shift;
+    PyObject **inflight, **wbufs;
+    long long *skew, *fin, *folded, *fill_live, *wb_live, *hot;
+    long long *bus_busy, *bus_tx, *bus_cyc;
+    long long *d_rmiss, *d_wmiss, *d_upg, *d_evict, *d_wb, *d_wbuf;
+    long long *d_bus_wait, *d_stall, *d_ic;
+    long long *ic_states, *ic_tags;
+    long long *regs;    /* i, base, uref, ev, n_reads, n_writes, u_busy,
+                           hot_n, ic_misses, ic_fetch_lines */
+    Py_buffer *views;
+    int nviews;
+} LCtx;
+
+static const char LCTX_NAME[] = "repro.trace.engine._native.ladder";
+
+static long long *
+l_acquire(LCtx *ctx, PyObject *obj)
+{
+    Py_buffer *view = &ctx->views[ctx->nviews];
+    if (PyObject_GetBuffer(obj, view, PyBUF_WRITABLE) < 0)
+        return NULL;
+    ctx->nviews++;
+    return (long long *)view->buf;
+}
+
+/* Fold the shared clock into rung ``s`` and return its local time. */
+static inline long long
+l_fold(LCtx *c, int s, long long base, long long uref)
+{
+    long long sk = c->skew[s];
+    if (uref > c->folded[s]) {
+        long long f = uref + sk;
+        if (f > c->fin[s])
+            c->fin[s] = f;
+    }
+    c->folded[s] = uref;
+    return base + sk;
+}
+
+static inline void
+l_update_hot(LCtx *c, int s, long long done, long long *hot_n)
+{
+    if (c->fill_live[s] > done || c->wb_live[s] > done) {
+        if (!c->hot[s]) {
+            c->hot[s] = 1;
+            (*hot_n)++;
+        }
+    }
+    else if (c->hot[s]) {
+        c->hot[s] = 0;
+        (*hot_n)--;
+    }
+}
+
+/* ``inflight[s].pop(key, None)`` guarded by ``if inflight[s]:``. */
+static int
+l_inflight_pop(PyObject *infl, long long key)
+{
+    if (PyDict_GET_SIZE(infl) == 0)
+        return 0;
+    PyObject *k = PyLong_FromLongLong(key);
+    if (!k)
+        return -1;
+    PyObject *v = PyDict_GetItemWithError(infl, k);
+    if (v) {
+        if (PyDict_DelItem(infl, k) < 0) {
+            Py_DECREF(k);
+            return -1;
+        }
+    }
+    else if (PyErr_Occurred()) {
+        Py_DECREF(k);
+        return -1;
+    }
+    Py_DECREF(k);
+    return 0;
+}
+
+/* ``inflight[s][line] = fetch_done`` */
+static int
+l_inflight_set(PyObject *infl, long long line, long long fetch_done)
+{
+    PyObject *k = PyLong_FromLongLong(line);
+    PyObject *v = k ? PyLong_FromLongLong(fetch_done) : NULL;
+    if (!k || !v) {
+        Py_XDECREF(k);
+        Py_XDECREF(v);
+        return -1;
+    }
+    int rc = PyDict_SetItem(infl, k, v);
+    Py_DECREF(k);
+    Py_DECREF(v);
+    return rc;
+}
+
+/* ``inflight[s].get(line)`` with the hot-hit resolution: delete stale
+ * entries, otherwise return the fill-adjusted completion. */
+static long long
+l_inflight_hit(PyObject *infl, long long line, long long t, long long done,
+               int *err)
+{
+    PyObject *k = PyLong_FromLongLong(line);
+    if (!k) {
+        *err = 1;
+        return 0;
+    }
+    PyObject *v = PyDict_GetItemWithError(infl, k);
+    if (v) {
+        long long ready = PyLong_AsLongLong(v);
+        if (ready == -1 && PyErr_Occurred()) {
+            Py_DECREF(k);
+            *err = 1;
+            return 0;
+        }
+        if (ready <= t) {
+            if (PyDict_DelItem(infl, k) < 0) {
+                Py_DECREF(k);
+                *err = 1;
+                return 0;
+            }
+        }
+        else {
+            done = ready + 1;
+        }
+    }
+    else if (PyErr_Occurred()) {
+        Py_DECREF(k);
+        *err = 1;
+        return 0;
+    }
+    Py_DECREF(k);
+    return done;
+}
+
+/* ``reserve()`` on rung ``s``: c_reserve arithmetic over the rung's
+ * write-buffer heaps plus the live-window watermark. */
+static long long
+l_reserve(LCtx *ctx, int s, long long bank, long long now,
+          long long retire, int *err)
+{
+    PyObject *buf = PyList_GET_ITEM(ctx->wbufs[s], bank);
+    while (PyList_GET_SIZE(buf) > 0) {
+        long long top = PyLong_AsLongLong(PyList_GET_ITEM(buf, 0));
+        if (top == -1 && PyErr_Occurred()) {
+            *err = 1;
+            return 0;
+        }
+        if (top > now)
+            break;
+        wb_heappop(buf, err);
+        if (*err)
+            return 0;
+    }
+    long long stall = 0;
+    if (PyList_GET_SIZE(buf) >= ctx->wb_depth) {
+        long long oldest = wb_heappop(buf, err);
+        if (*err)
+            return 0;
+        if (oldest > now)
+            stall = oldest - now;
+    }
+    long long push = now + stall;
+    if (retire > push)
+        push = retire;
+    if (wb_heappush(buf, push) < 0) {
+        *err = 1;
+        return 0;
+    }
+    if (push > ctx->wb_live[s])
+        ctx->wb_live[s] = push;
+    return stall;
+}
+
+/* Per-size processing for a read that is not uniformly quiet. */
+static int
+l_slow_read(LCtx *c, long long line, long long base, long long uref,
+            long long *hot_n)
+{
+    int s = 0;
+    int n = c->n_sizes;
+    for (; s < n; s++) {                    /* misses: ladder prefix */
+        long long *states = c->s_states[s];
+        long long index = line & c->s_mask[s];
+        long long tag = line >> c->s_shift[s];
+        if (states[index] && c->s_tags[s][index] == tag)
+            break;
+        long long t = l_fold(c, s, base, uref);
+        c->d_rmiss[s]++;
+        long long grant = c->bus_busy[s];
+        if (grant < t)
+            grant = t;
+        c->bus_busy[s] = grant + c->occ;
+        c->bus_tx[s]++;
+        c->bus_cyc[s] += c->occ;
+        c->d_bus_wait[s] += grant - t;
+        long long done = grant + c->mem_lat;
+        long long old = states[index];
+        if (old) {                          /* tag differs: eviction */
+            c->d_evict[s]++;
+            if (old == ST_MODIFIED) {
+                c->d_wb[s]++;
+                c->bus_busy[s] += c->occ;
+                c->bus_tx[s]++;
+                c->bus_cyc[s] += c->occ;
+            }
+            if (l_inflight_pop(c->inflight[s],
+                               (c->s_tags[s][index] << c->s_shift[s])
+                               | index) < 0)
+                return -1;
+        }
+        c->s_tags[s][index] = tag;
+        states[index] = c->install_state;
+        long long ret = done + 1;
+        c->d_stall[s] += ret - t - 1;
+        c->fin[s] = ret;
+        c->skew[s] = ret - base - 1;
+        l_update_hot(c, s, ret, hot_n);
+    }
+    if (*hot_n) {                           /* hits inside live windows */
+        for (; s < n; s++) {
+            if (!c->hot[s])
+                continue;
+            long long t = l_fold(c, s, base, uref);
+            long long done = t + 1;
+            if (c->fill_live[s] > t) {
+                int err = 0;
+                done = l_inflight_hit(c->inflight[s], line, t, done, &err);
+                if (err)
+                    return -1;
+            }
+            c->d_stall[s] += done - t - 1;
+            c->fin[s] = done;
+            c->skew[s] = done - base - 1;
+            if (c->fill_live[s] <= done && c->wb_live[s] <= done) {
+                c->hot[s] = 0;
+                (*hot_n)--;
+            }
+        }
+    }
+    return 0;
+}
+
+/* Per-size processing for a write that is not uniformly quiet. */
+static int
+l_slow_write(LCtx *c, long long line, long long bank, long long base,
+             long long uref, long long *hot_n)
+{
+    int s = 0;
+    int n = c->n_sizes;
+    int err = 0;
+    for (; s < n; s++) {                    /* misses: ladder prefix */
+        long long *states = c->s_states[s];
+        long long index = line & c->s_mask[s];
+        long long tag = line >> c->s_shift[s];
+        if (states[index] && c->s_tags[s][index] == tag)
+            break;
+        long long t = l_fold(c, s, base, uref);
+        c->d_wmiss[s]++;
+        long long grant = c->bus_busy[s];
+        if (grant < t)
+            grant = t;
+        c->bus_busy[s] = grant + c->occ;
+        c->bus_tx[s]++;
+        c->bus_cyc[s] += c->occ;
+        c->d_bus_wait[s] += grant - t;
+        long long fetch_done = grant + c->mem_lat;
+        long long old = states[index];
+        if (old) {
+            c->d_evict[s]++;
+            if (old == ST_MODIFIED) {
+                c->d_wb[s]++;
+                c->bus_busy[s] += c->occ;
+                c->bus_tx[s]++;
+                c->bus_cyc[s] += c->occ;
+            }
+            if (l_inflight_pop(c->inflight[s],
+                               (c->s_tags[s][index] << c->s_shift[s])
+                               | index) < 0)
+                return -1;
+        }
+        c->s_tags[s][index] = tag;
+        states[index] = ST_MODIFIED;
+        if (l_inflight_set(c->inflight[s], line, fetch_done) < 0)
+            return -1;
+        if (fetch_done > c->fill_live[s])
+            c->fill_live[s] = fetch_done;
+        long long complete = t + 1;
+        long long stall = l_reserve(c, s, bank, complete, fetch_done,
+                                    &err);
+        if (err)
+            return -1;
+        c->d_wbuf[s] += stall;
+        long long done = complete + stall;
+        c->d_stall[s] += done - t - 1;
+        c->fin[s] = done;
+        c->skew[s] = done - base - 1;
+        l_update_hot(c, s, done, hot_n);
+    }
+    for (; s < n; s++) {                    /* resident sizes */
+        long long *states = c->s_states[s];
+        long long index = line & c->s_mask[s];
+        long long state = states[index];
+        if (state == ST_SHARED) {           /* upgrade broadcast */
+            long long t = l_fold(c, s, base, uref);
+            c->d_upg[s]++;
+            long long grant = c->bus_busy[s];
+            if (grant < t)
+                grant = t;
+            c->bus_busy[s] = grant + c->up_occ;
+            c->bus_tx[s]++;
+            c->bus_cyc[s] += c->up_occ;
+            states[index] = ST_MODIFIED;
+            long long complete = t + 1;
+            long long stall = l_reserve(c, s, bank, complete,
+                                        grant + c->up_occ, &err);
+            if (err)
+                return -1;
+            c->d_wbuf[s] += stall;
+            long long done = complete + stall;
+            c->d_stall[s] += done - t - 1;
+            c->fin[s] = done;
+            c->skew[s] = done - base - 1;
+            l_update_hot(c, s, done, hot_n);
+        }
+        else {
+            if (state != ST_MODIFIED)       /* MESI silent E -> M */
+                states[index] = ST_MODIFIED;
+            if (c->hot[s]) {
+                long long t = l_fold(c, s, base, uref);
+                long long done = t + 1;
+                if (c->fill_live[s] > t) {
+                    done = l_inflight_hit(c->inflight[s], line, t, done,
+                                          &err);
+                    if (err)
+                        return -1;
+                }
+                if (c->wb_live[s] > done) {
+                    long long stall = l_reserve(c, s, bank, done, done,
+                                                &err);
+                    if (err)
+                        return -1;
+                    c->d_wbuf[s] += stall;
+                    done += stall;
+                }
+                c->d_stall[s] += done - t - 1;
+                c->fin[s] = done;
+                c->skew[s] = done - base - 1;
+                if (c->fill_live[s] <= done && c->wb_live[s] <= done) {
+                    c->hot[s] = 0;
+                    (*hot_n)--;
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+static void
+lctx_release(LCtx *ctx)
+{
+    if (ctx->released)
+        return;
+    ctx->released = 1;
+    for (int i = 0; i < ctx->nviews; i++)
+        PyBuffer_Release(&ctx->views[i]);
+    ctx->nviews = 0;
+    Py_CLEAR(ctx->plan);
+}
+
+static void
+lctx_destructor(PyObject *capsule)
+{
+    LCtx *ctx = (LCtx *)PyCapsule_GetPointer(capsule, LCTX_NAME);
+    if (!ctx)
+        return;
+    lctx_release(ctx);
+    PyMem_Free(ctx->views);
+    PyMem_Free(ctx->s_states);
+    PyMem_Free(ctx->s_mask);
+    PyMem_Free(ctx->inflight);
+    PyMem_Free(ctx);
+}
+
+/* plan: (per_size, scal, state, deltas, ic, regs)
+ *   per_size -- tuple per rung: (states, tags, index_mask, tag_shift,
+ *               inflight dict, write-buffer list-of-heaps)
+ *   scal     -- array('q'): line_shift, nbanks, occ, up_occ, mem_lat,
+ *               ic_lat, wb_depth, install_state, model_icache, il_shift,
+ *               ic_mask, ic_shift
+ *   state    -- tuple of array('q') per-size arrays: skew, fin, folded,
+ *               fill_live, wb_live, hot, bus_busy, bus_tx, bus_cyc
+ *   deltas   -- tuple of array('q') per-size arrays: d_rmiss, d_wmiss,
+ *               d_upg, d_evict, d_wb, d_wbuf, d_bus_wait, d_stall, d_ic
+ *   ic       -- (ic_states, ic_tags) array('q') pair, or () when the
+ *               icache is unmodelled
+ *   regs     -- array('q'): i, base, uref, ev, n_reads, n_writes,
+ *               u_busy, hot_n, ic_misses, ic_fetch_lines
+ */
+static PyObject *
+native_ladder_setup(PyObject *self, PyObject *plan)
+{
+    (void)self;
+    if (!PyTuple_Check(plan) || PyTuple_GET_SIZE(plan) != 6) {
+        PyErr_SetString(PyExc_TypeError, "ladder plan must be a 6-tuple");
+        return NULL;
+    }
+    PyObject *per_size = PyTuple_GET_ITEM(plan, 0);
+    PyObject *scal = PyTuple_GET_ITEM(plan, 1);
+    PyObject *state = PyTuple_GET_ITEM(plan, 2);
+    PyObject *deltas = PyTuple_GET_ITEM(plan, 3);
+    PyObject *ic = PyTuple_GET_ITEM(plan, 4);
+    PyObject *regs = PyTuple_GET_ITEM(plan, 5);
+
+    LCtx *ctx = PyMem_Calloc(1, sizeof(LCtx));
+    if (!ctx)
+        return PyErr_NoMemory();
+    ctx->n_sizes = (int)PyTuple_GET_SIZE(per_size);
+
+    int max_views = 2 * ctx->n_sizes + 9 + 9 + 2 + 1;
+    ctx->views = PyMem_Calloc(max_views, sizeof(Py_buffer));
+    ctx->s_states = PyMem_Calloc(2 * ctx->n_sizes, sizeof(long long *));
+    ctx->s_mask = PyMem_Calloc(2 * ctx->n_sizes, sizeof(long long));
+    ctx->inflight = PyMem_Calloc(2 * ctx->n_sizes, sizeof(PyObject *));
+    if (!ctx->views || !ctx->s_states || !ctx->s_mask || !ctx->inflight) {
+        PyMem_Free(ctx->views);
+        PyMem_Free(ctx->s_states);
+        PyMem_Free(ctx->s_mask);
+        PyMem_Free(ctx->inflight);
+        PyMem_Free(ctx);
+        return PyErr_NoMemory();
+    }
+    ctx->s_tags = ctx->s_states + ctx->n_sizes;
+    ctx->s_shift = ctx->s_mask + ctx->n_sizes;
+    ctx->wbufs = ctx->inflight + ctx->n_sizes;
+
+    ctx->plan = plan;
+    Py_INCREF(plan);
+
+    long long sc[12];
+    for (Py_ssize_t k = 0; k < 12; k++) {
+        if (get_ll_item(scal, k, &sc[k]) < 0)
+            goto fail;
+    }
+    ctx->line_shift = sc[0];
+    ctx->nbanks = sc[1];
+    ctx->occ = sc[2];
+    ctx->up_occ = sc[3];
+    ctx->mem_lat = sc[4];
+    ctx->ic_lat = sc[5];
+    ctx->wb_depth = sc[6];
+    ctx->install_state = sc[7];
+    ctx->model_icache = sc[8];
+    ctx->il_shift = sc[9];
+    ctx->ic_mask = sc[10];
+    ctx->ic_shift = sc[11];
+
+    for (int s = 0; s < ctx->n_sizes; s++) {
+        PyObject *entry = PyTuple_GET_ITEM(per_size, s);
+        if (!(ctx->s_states[s] =
+                  l_acquire(ctx, PyTuple_GET_ITEM(entry, 0))))
+            goto fail;
+        if (!(ctx->s_tags[s] =
+                  l_acquire(ctx, PyTuple_GET_ITEM(entry, 1))))
+            goto fail;
+        if (get_ll_item(entry, 2, &ctx->s_mask[s]) < 0)
+            goto fail;
+        if (get_ll_item(entry, 3, &ctx->s_shift[s]) < 0)
+            goto fail;
+        ctx->inflight[s] = PyTuple_GET_ITEM(entry, 4);
+        ctx->wbufs[s] = PyTuple_GET_ITEM(entry, 5);
+    }
+
+    long long **sptr[9] = {
+        &ctx->skew, &ctx->fin, &ctx->folded, &ctx->fill_live,
+        &ctx->wb_live, &ctx->hot, &ctx->bus_busy, &ctx->bus_tx,
+        &ctx->bus_cyc,
+    };
+    for (int k = 0; k < 9; k++) {
+        if (!(*sptr[k] = l_acquire(ctx, PyTuple_GET_ITEM(state, k))))
+            goto fail;
+    }
+    long long **dptr[9] = {
+        &ctx->d_rmiss, &ctx->d_wmiss, &ctx->d_upg, &ctx->d_evict,
+        &ctx->d_wb, &ctx->d_wbuf, &ctx->d_bus_wait, &ctx->d_stall,
+        &ctx->d_ic,
+    };
+    for (int k = 0; k < 9; k++) {
+        if (!(*dptr[k] = l_acquire(ctx, PyTuple_GET_ITEM(deltas, k))))
+            goto fail;
+    }
+    if (ctx->model_icache) {
+        if (!(ctx->ic_states = l_acquire(ctx, PyTuple_GET_ITEM(ic, 0))))
+            goto fail;
+        if (!(ctx->ic_tags = l_acquire(ctx, PyTuple_GET_ITEM(ic, 1))))
+            goto fail;
+    }
+    if (!(ctx->regs = l_acquire(ctx, regs)))
+        goto fail;
+
+    PyObject *capsule = PyCapsule_New(ctx, LCTX_NAME, lctx_destructor);
+    if (!capsule)
+        goto fail;
+    return capsule;
+
+fail:
+    lctx_release(ctx);
+    PyMem_Free(ctx->views);
+    PyMem_Free(ctx->s_states);
+    PyMem_Free(ctx->s_mask);
+    PyMem_Free(ctx->inflight);
+    PyMem_Free(ctx);
+    return NULL;
+}
+
+static PyObject *
+native_ladder_release(PyObject *self, PyObject *capsule)
+{
+    (void)self;
+    LCtx *ctx = (LCtx *)PyCapsule_GetPointer(capsule, LCTX_NAME);
+    if (!ctx)
+        return NULL;
+    lctx_release(ctx);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+native_ladder_drain(PyObject *self, PyObject *args)
+{
+    (void)self;
+    PyObject *capsule, *chunk;
+    if (!PyArg_ParseTuple(args, "OO", &capsule, &chunk))
+        return NULL;
+    LCtx *ctx = (LCtx *)PyCapsule_GetPointer(capsule, LCTX_NAME);
+    if (!ctx)
+        return NULL;
+    if (ctx->released) {
+        PyErr_SetString(PyExc_RuntimeError, "drain on released context");
+        return NULL;
+    }
+    Py_buffer cview;
+    if (PyObject_GetBuffer(chunk, &cview, PyBUF_SIMPLE) < 0)
+        return NULL;
+    const long long *data = (const long long *)cview.buf;
+    long long end = (long long)(cview.len / 8);
+
+    long long *regs = ctx->regs;
+    long long i = regs[0];
+    long long base = regs[1];
+    long long uref = regs[2];
+    long long ev = regs[3];
+    long long n_reads = regs[4];
+    long long n_writes = regs[5];
+    long long u_busy = regs[6];
+    long long hot_n = regs[7];
+    long long ic_misses = regs[8];
+    long long ic_fetch_lines = regs[9];
+    long long line_shift = ctx->line_shift;
+    long long nbanks = ctx->nbanks;
+    long long mask0 = ctx->s_mask[0];
+    long long shift0 = ctx->s_shift[0];
+    long long *states0 = ctx->s_states[0];
+    long long *tags0 = ctx->s_tags[0];
+    int status = STATUS_EXHAUSTED;
+
+    while (i < end) {
+        long long op = data[i];
+        if (op == OP_READ) {
+            long long line = data[i + 1] >> line_shift;
+            i += 2;
+            ev++;
+            long long index = line & mask0;
+            if (!(hot_n == 0 && states0[index]
+                  && tags0[index] == (line >> shift0))) {
+                if (l_slow_read(ctx, line, base, uref, &hot_n) < 0)
+                    goto fail;
+            }
+            n_reads++;
+            base++;
+            uref = base;
+        }
+        else if (op == OP_WRITE) {
+            long long line = data[i + 1] >> line_shift;
+            i += 2;
+            ev++;
+            long long index = line & mask0;
+            if (!(hot_n == 0 && states0[index] == ST_MODIFIED
+                  && tags0[index] == (line >> shift0))) {
+                long long bank = line % nbanks;
+                if (bank < 0)
+                    bank += nbanks;
+                if (l_slow_write(ctx, line, bank, base, uref, &hot_n) < 0)
+                    goto fail;
+            }
+            n_writes++;
+            base++;
+            uref = base;
+        }
+        else if (op == OP_COMPUTE) {
+            long long cycles = data[i + 1];
+            i += 2;
+            ev++;
+            if (cycles) {
+                u_busy += cycles;
+                base += cycles;
+            }
+        }
+        else if (op == OP_IFETCH) {
+            long long count = data[i + 2];
+            ev++;
+            if (!ctx->model_icache) {
+                u_busy += count;
+                base += count;
+                i += 3;
+                continue;
+            }
+            long long addr = data[i + 1];
+            i += 3;
+            long long first = addr >> ctx->il_shift;
+            long long last =
+                (addr + count * 4 - 1) >> ctx->il_shift;
+            long long *ic_states = ctx->ic_states;
+            long long *ic_tags = ctx->ic_tags;
+            long long ic_mask = ctx->ic_mask;
+            long long ic_shift = ctx->ic_shift;
+            long long ln = first;
+            while (ln <= last) {
+                long long ii = ln & ic_mask;
+                if (ic_states[ii] && ic_tags[ii] == (ln >> ic_shift))
+                    ln++;
+                else
+                    break;
+            }
+            if (ln > last) {
+                /* Every line resident: no refills at any size. */
+                ic_fetch_lines += last - first + 1;
+                u_busy += count;
+                base += count;
+                continue;
+            }
+            long long misses = 0;
+            for (ln = first; ln <= last; ln++) {
+                ic_fetch_lines++;
+                long long ii = ln & ic_mask;
+                if (!(ic_states[ii]
+                      && ic_tags[ii] == (ln >> ic_shift))) {
+                    ic_tags[ii] = ln >> ic_shift;
+                    ic_states[ii] = ST_SHARED;
+                    misses++;
+                }
+            }
+            ic_misses += misses;
+            for (int s = 0; s < ctx->n_sizes; s++) {
+                long long t = l_fold(ctx, s, base, uref);
+                long long stall = 0;
+                long long busy = ctx->bus_busy[s];
+                for (long long m = 0; m < misses; m++) {
+                    long long request = t + stall;
+                    if (busy < request)
+                        busy = request;
+                    busy += ctx->occ;
+                    stall = busy - ctx->occ + ctx->ic_lat - t;
+                }
+                ctx->bus_busy[s] = busy;
+                ctx->bus_tx[s] += misses;
+                ctx->bus_cyc[s] += misses * ctx->occ;
+                ctx->d_ic[s] += stall;
+                ctx->skew[s] += stall;
+                long long t_new = t + count + stall;
+                l_update_hot(ctx, s, t_new, &hot_n);
+            }
+            u_busy += count;
+            base += count;
+        }
+        else if (op == OP_READ_SPAN || op == OP_WRITE_SPAN) {
+            long long span_base = data[i + 1];
+            long long size = data[i + 2];
+            long long stride = data[i + 3];
+            if (size > 0 && stride <= 0) {
+                /* The scalar loop would spin forever; fail like the
+                 * decoded tiers do (error parity for the differ). */
+                PyErr_Format(PyExc_ValueError,
+                             "non-positive span stride at %lld", i);
+                goto fail;
+            }
+            i += 4;
+            int is_read = op == OP_READ_SPAN;
+            long long offset = 0;
+            while (offset < size) {
+                ev++;
+                long long line = (span_base + offset) >> line_shift;
+                long long index = line & mask0;
+                if (is_read) {
+                    if (!(hot_n == 0 && states0[index]
+                          && tags0[index] == (line >> shift0))) {
+                        if (l_slow_read(ctx, line, base, uref,
+                                        &hot_n) < 0)
+                            goto fail;
+                    }
+                    n_reads++;
+                }
+                else {
+                    if (!(hot_n == 0 && states0[index] == ST_MODIFIED
+                          && tags0[index] == (line >> shift0))) {
+                        long long bank = line % nbanks;
+                        if (bank < 0)
+                            bank += nbanks;
+                        if (l_slow_write(ctx, line, bank, base, uref,
+                                         &hot_n) < 0)
+                            goto fail;
+                    }
+                    n_writes++;
+                }
+                base++;
+                uref = base;
+                offset += stride;
+            }
+        }
+        else {
+            /* Queue, synchronization or unknown opcode: python side. */
+            status = STATUS_SYNC;
+            break;
+        }
+    }
+
+    regs[0] = i;
+    regs[1] = base;
+    regs[2] = uref;
+    regs[3] = ev;
+    regs[4] = n_reads;
+    regs[5] = n_writes;
+    regs[6] = u_busy;
+    regs[7] = hot_n;
+    regs[8] = ic_misses;
+    regs[9] = ic_fetch_lines;
+    PyBuffer_Release(&cview);
+    return PyLong_FromLong(status);
+
+fail:
+    regs[0] = i;
+    regs[1] = base;
+    regs[2] = uref;
+    regs[3] = ev;
+    regs[4] = n_reads;
+    regs[5] = n_writes;
+    regs[6] = u_busy;
+    regs[7] = hot_n;
+    regs[8] = ic_misses;
+    regs[9] = ic_fetch_lines;
+    PyBuffer_Release(&cview);
+    return NULL;
+}
+
 /* --------------------------------------------------------------- module */
 
 static PyMethodDef methods[] = {
@@ -844,6 +1627,12 @@ static PyMethodDef methods[] = {
      "Consume packed events; returns 0/1/2 (exhausted/preempt/sync)."},
     {"release", native_release, METH_O,
      "Release the buffer views held by a context."},
+    {"ladder_setup", native_ladder_setup, METH_O,
+     "Parse a fused-ladder plan into a context capsule."},
+    {"ladder_drain", native_ladder_drain, METH_VARARGS,
+     "Run the fused ladder over packed events; returns 0/2."},
+    {"ladder_release", native_ladder_release, METH_O,
+     "Release the buffer views held by a ladder context."},
     {NULL, NULL, 0, NULL},
 };
 

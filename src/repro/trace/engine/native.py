@@ -38,10 +38,11 @@ from typing import Optional
 
 from ..packed import OP_BARRIER, OP_LOCK_ACQ, OP_LOCK_REL
 
-__all__ = ["NATIVE_VERSION", "LOAD_ERROR", "load", "run"]
+__all__ = ["NATIVE_VERSION", "LOAD_ERROR", "ladder_available", "load",
+           "run"]
 
 #: Bump when the C ABI (plan layout, drain contract) changes.
-NATIVE_VERSION = "1"
+NATIVE_VERSION = "2"
 
 LOAD_ERROR: Optional[str] = None
 
@@ -141,6 +142,17 @@ def load(rebuild: bool = False):
     if _mod is not None:
         LOAD_ERROR = None
     return _mod
+
+
+def ladder_available() -> bool:
+    """Whether the loaded extension has the fused-ladder entry points.
+
+    A stale ``setup.py``-built ``_native`` predating the ladder ABI can
+    shadow the on-demand build; callers degrade to the python ladder
+    rather than fail.
+    """
+    mod = load()
+    return mod is not None and hasattr(mod, "ladder_setup")
 
 
 def _qchunk(process):

@@ -1,14 +1,13 @@
 """Numpy-vectorized packed replay backend.
 
 A clone of ``TimingInterleaver._run_fast`` (:mod:`repro.trace.interleave`)
-that drains *decoded* chunks (:mod:`repro.trace.engine.flatten`) and, on
-single-processor machines, fast-forwards whole quiet runs of cache hits
-with batched numpy array operations instead of one python iteration per
-event.  Machines the vector window can never cover (multiple processors,
-multi-cycle banks) are delegated to the python loop at entry -- identical
-semantics without the decode overhead -- so ``auto`` can pick this tier
-unconditionally and still only pay for it where it wins (uniprocessor
-sweeps, the dominant hot path).
+that drains *decoded* chunks (:mod:`repro.trace.engine.flatten`) and
+fast-forwards whole quiet runs of cache hits with batched numpy array
+operations instead of one python iteration per event.  The only machines
+delegated to the python loop at entry are multi-cycle-bank ones (the
+window can never open there, so this tier would pay the decode without
+ever vectorizing); multi-processor machines replay here too, with the
+vector window bounded by the scheduler horizon (below).
 
 Why the vector window is exact, not approximate:
 
@@ -21,14 +20,31 @@ Why the vector window is exact, not approximate:
 * **Quiet-window preconditions.**  The window only opens when
   ``time >= slow_bound``, a conservative bound covering every in-flight
   fill ready time, write-buffer retire time, and bank-free residue
-  produced by slow events.  Past the bound, an in-flight lookup can only
-  find stale entries (hit timing identical to no entry; the lazy deletes
-  the python loop performs are observationally irrelevant), a write-hit
-  write-buffer reservation can never stall (all entries evictable), and
-  no bank is busy.  With one processor and ``bank_cycle_time == 1`` each
-  hit then advances time by exactly one cycle, computes by their operand
-  and resident ifetches by their count, so the window's timing is a
-  cumulative sum.
+  produced by earlier events *on any processor*.  Past the bound, an
+  in-flight lookup can only find stale entries (hit timing identical to
+  no entry; the lazy deletes the python loop performs are
+  observationally irrelevant), a write-hit write-buffer reservation can
+  never stall (all entries evictable), and no bank is busy.  With
+  ``bank_cycle_time == 1`` each hit then advances time by exactly one
+  cycle, computes by their operand and resident ifetches by their count,
+  so the window's timing is a cumulative sum.
+* **Scheduler horizon (multi-processor).**  The interleaver runs the
+  current process while ``time <= next_time`` (the heap top); no other
+  process executes in between, so a run of fast events whose post-times
+  stay ``<= next_time`` is replayed by the scalar loop back to back with
+  no preemption.  The window therefore truncates at the horizon: only
+  events finishing by ``next_time`` are vector-executed, the boundary
+  event runs scalar and performs the yield exactly like the python
+  loop.  Every scalar data event and every window ratchets
+  ``slow_bound`` to its completion time, so a *slower* processor
+  switching in behind a faster one re-enters scalar mode until it has
+  caught up past every residue (bank-free times, buffer retires) the
+  faster one left behind.  Processors in cycle-lockstep (horizon == 0)
+  simply stay scalar; drifted ones (multiprogramming quanta, post-miss
+  skew) vectorize their headroom.  A tape that never drifts cannot
+  benefit at all, so after ``_BAIL_EVENTS`` events with negligible
+  vector engagement the run is handed to the python loop mid-stream
+  (see ``_BAIL_EVENTS`` below).
 * **Side effects are reproduced wholesale**: write slots scatter to
   MODIFIED, each touched bank's free time becomes the start+1 of its
   last access, and each written bank's buffer drains to exactly the last
@@ -71,6 +87,16 @@ _SHORT = 64
 _MIN_COOLDOWN = 64
 _MAX_COOLDOWN = 4096
 
+#: Multi-processor machines whose processors run in cycle-lockstep have a
+#: scheduler horizon of ~0 -- windows never open, and the decoded scalar
+#: loop is pure overhead over ``_run_fast``.  After this many events the
+#: backend checks the vectorized fraction once and, if it is below
+#: 1/``_BAIL_DIV``, hands the remainder of the run to the python loop at
+#: the next process-switch point (identical semantics; the deltas
+#: accumulated so far flush additively in the ``finally``).
+_BAIL_EVENTS = 30_000
+_BAIL_DIV = 32
+
 DEBUG = None  # set to a dict to collect window statistics
 
 
@@ -79,12 +105,13 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
     self = interleaver
     system = self.system
     config = system.config
-    # The vector window is only provably exact on a single-processor
-    # machine with single-cycle banks; anywhere else this tier would pay
-    # the decode without ever vectorizing, so hand the run to the python
-    # loop outright (identical semantics, zero overhead).
-    if (config.total_processors != 1
-            or system.clusters[0].scc.interconnect.bank_cycle_time != 1):
+    # The vector window is only provably exact with single-cycle banks
+    # (multi-cycle banks keep arbitration live between consecutive
+    # events); there this tier would pay the decode without ever
+    # vectorizing, so hand the run to the python loop outright
+    # (identical semantics, zero overhead).  Multi-processor machines
+    # stay: the window truncates at the scheduler horizon instead.
+    if system.clusters[0].scc.interconnect.bank_cycle_time != 1:
         return self._run_fast(max_cycles)
     heap = self._heap
     processes = self._processes
@@ -146,25 +173,31 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                         for s in ic_states]
         np_ic_tags = [np.frombuffer(t, dtype=np.int64) for t in ic_tags]
 
-    # The vector window is only provably exact on a single-processor
-    # machine with single-cycle banks (see module docstring).
-    vec_ok = nproc == 1 and bank_cycle == 1
+    # The vector window is only provably exact with single-cycle banks
+    # (see module docstring); the multi-processor story is handled by
+    # the horizon truncation below, not by this gate.
+    vec_ok = bank_cycle == 1
 
-    # Conservative upper bound on every pending slow-event side effect:
-    # in-flight fill ready times, write-buffer retire times, bank-free
-    # residue.  Start from any pre-existing state so a reused system
-    # cannot open a window early.
-    slow_bound = 0
-    for infl in cl_inflight:
+    # Conservative per-cluster upper bound on every pending slow-event
+    # side effect: in-flight fill ready times, write-buffer retire
+    # times, bank-free residue.  Per cluster, not global, because those
+    # structures are all cluster-local (the shared bus is global but
+    # windows never consult it): a miss stalling cluster 0 must not
+    # close the window for a drifting processor in cluster 1.  Start
+    # from any pre-existing state so a reused system cannot open a
+    # window early.
+    slow_bounds = [0] * n_cl
+    for c in range(n_cl):
+        bound = 0
+        infl = cl_inflight[c]
         if infl:
-            slow_bound = max(slow_bound, max(infl.values()))
-    for bufs in cl_wbufs:
-        for buf in bufs:
+            bound = max(bound, max(infl.values()))
+        for buf in cl_wbufs[c]:
             if buf:
-                slow_bound = max(slow_bound, max(buf))
-    for bfree in cl_bank_free:
-        if len(bfree):
-            slow_bound = max(slow_bound, max(bfree))
+                bound = max(bound, max(buf))
+        if len(cl_bank_free[c]):
+            bound = max(bound, max(cl_bank_free[c]))
+        slow_bounds[c] = bound
 
     wb_scratch = np.empty(nbanks, dtype=np.int64)
     dec_cache = {}
@@ -187,6 +220,8 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
     blk = _MIN_BLOCK
     cooldown = _MIN_COOLDOWN
     scalar_budget = 0
+    vec_ev = 0
+    bail_armed = nproc > 1
     try:
         while True:
             if pending >= 0:
@@ -196,6 +231,13 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
             else:
                 if not heap:
                     break
+                if bail_armed and ev >= _BAIL_EVENTS:
+                    bail_armed = False
+                    if vec_ev * _BAIL_DIV < ev:
+                        if DEBUG is not None:
+                            DEBUG["bailed"] = True
+                        return max(finish_time,
+                                   self._run_fast(max_cycles))
                 pid = pop(heap)[2]
                 process = processes[pid]
                 process.in_heap = False
@@ -236,8 +278,14 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                 yielded = False
                 while e < n_ev:
                     # ---- vectorized fast-forward over quiet hit runs --
-                    if (vec_ok and mf[e] and slow_bound <= time <= limit
-                            and not heap):
+                    # ``time < next_time`` is the scheduler horizon: with
+                    # an empty heap next_time is _NO_LIMIT (the uniproc
+                    # case); otherwise the current process has exclusive
+                    # headroom up to the heap top and the window truncates
+                    # there.  Tested first: tied processors (the common
+                    # multi-processor regime) fail it on every event.
+                    if (vec_ok and time < next_time and mf[e]
+                            and slow_bounds[cl] <= time <= limit):
                         if scalar_budget > 0:
                             scalar_budget -= 1
                             vec_try = False
@@ -289,6 +337,24 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                                 break
                             cum = np.cumsum(dec.adv[e:e + L])
                             total = int(cum[-1])
+                            if time + total > next_time:
+                                # Scheduler horizon: vector-run only the
+                                # events that finish by the heap top's
+                                # wake-up; the boundary event runs scalar
+                                # and performs the yield exactly like the
+                                # python loop.
+                                kv = int(np.searchsorted(
+                                    cum, next_time - time, side="right"))
+                                full = False
+                                L = kv
+                                if L == 0:
+                                    blk = _MIN_BLOCK
+                                    scalar_budget = cooldown
+                                    if cooldown < _MAX_COOLDOWN:
+                                        cooldown <<= 1
+                                    break
+                                cum = cum[:L]
+                                total = int(cum[-1])
                             if time + total > limit:
                                 # Run only events whose pre-event time
                                 # stays within the limit; the next scalar
@@ -337,7 +403,14 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                                          + 1).sum())
                             d_busy[pid] += total
                             time += total
+                            if time > slow_bounds[cl]:
+                                # Bank-free posts and buffer retires left
+                                # by this window are all <= time; a
+                                # slower processor switching in must stay
+                                # scalar until it passes them.
+                                slow_bounds[cl] = time
                             ev += L
+                            vec_ev += L
                             e += L
                             if DEBUG is not None:
                                 DEBUG["vec_events"] = (
@@ -399,8 +472,6 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                                     done = start + 1
                             else:
                                 done = read_miss(scc, line, start)
-                                if done > slow_bound:
-                                    slow_bound = done
                         else:
                             if (states[idx] >= MODIFIED
                                     and tags[idx] == line >> tag_shift):
@@ -421,8 +492,6 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                                     stall = reserve(bank, done, done)
                                     d_wbuf[cl] += stall
                                     done += stall
-                                    if done > slow_bound:
-                                        slow_bound = done
                             else:
                                 outcome = write_line(scc, line, start)
                                 done = outcome.complete
@@ -434,15 +503,19 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                                                     outcome.retire)
                                     d_wbuf[cl] += stall
                                     done += stall
-                                if outcome.retire > slow_bound:
-                                    slow_bound = outcome.retire
-                                if done > slow_bound:
-                                    slow_bound = done
+                                if outcome.retire > slow_bounds[cl]:
+                                    slow_bounds[cl] = outcome.retire
                         d_refs[pid] += 1
                         d_busy[pid] += 1
                         d_stall[pid] += done - time - 1
                         d_finish[pid] = done
                         time = done
+                        if done > slow_bounds[cl]:
+                            # Hits leave residue too on a multi-processor
+                            # machine: this event's bank stays reserved
+                            # until ``done``, and a slower processor may
+                            # switch in before that.
+                            slow_bounds[cl] = done
                         if time > next_time:
                             yielded = True
                             break
@@ -579,6 +652,19 @@ def run(interleaver, max_cycles: Optional[int]) -> int:
                     process.chunk_sub = 0
                 if process.blocked or process.in_heap:
                     break
+                if bail_armed and ev >= _BAIL_EVENTS:
+                    bail_armed = False
+                    if vec_ev * _BAIL_DIV < ev:
+                        # Lockstep tape: yield the current process exactly
+                        # like the python loop would and let _run_fast
+                        # drain the rest.
+                        self._seq += 1
+                        process.in_heap = True
+                        heapq.heappush(heap, (time, self._seq, pid))
+                        if DEBUG is not None:
+                            DEBUG["bailed"] = True
+                        return max(finish_time,
+                                   self._run_fast(max_cycles))
                 self._seq += 1
                 process.in_heap = True
                 npid = pushpop(heap, (time, self._seq, pid))[2]

@@ -77,6 +77,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from .engine import resolve_backend
 from .interleave import DeadlockError, SyncProtocolError, fused_replay_ok
 from .packed import (OP_BARRIER, OP_COMPUTE, OP_DEQUEUE, OP_ENQUEUE,
                      OP_IFETCH, OP_LOCK_ACQ, OP_LOCK_REL, OP_READ,
@@ -87,6 +88,11 @@ from ..core.system import MultiprocessorSystem
 
 __all__ = ["fused_ladder_supported", "fused_ladder_results",
            "per_process_miss_surface", "MissSurfacePoint"]
+
+#: Engine that executed the most recent fused pass (``"python"`` or
+#: ``"native"``).  Diagnostic only -- read by tests and the bench CLI to
+#: assert the compiled ladder actually engaged; never an input.
+LAST_LADDER_ENGINE = "python"
 
 
 def _qarray(values) -> "_qarray_type":
@@ -121,7 +127,8 @@ def fused_ladder_supported(configs: Sequence[SystemConfig]) -> bool:
 
 def fused_ladder_results(configs: Sequence[SystemConfig],
                          streams: Dict[int, Sequence[int]],
-                         check_invariants: bool = True) -> List:
+                         check_invariants: bool = True,
+                         backend: str = None) -> List:
     """Replay one recorded single-process stream on every configuration.
 
     ``configs`` must satisfy :func:`fused_ladder_supported` (raises
@@ -133,7 +140,18 @@ def fused_ladder_results(configs: Sequence[SystemConfig],
     input order, bit-identical to what
     :func:`~repro.simulation.run_simulation` of a
     :class:`~repro.trace.record.ReplayApplication` would produce.
+
+    ``backend`` follows the replay-engine precedence (argument ->
+    ``$REPRO_ENGINE`` -> ``auto``): a ``native`` resolution runs the
+    pass through the C extension's ladder entry points, degrading to
+    the python pass when the extension is missing, disabled via
+    ``REPRO_NATIVE=0``, or predates the ladder ABI.  There is no
+    vectorized middle tier for the ladder, so a ``numpy`` resolution
+    also runs the (scalar) python pass.  The choice is execution-only:
+    results are bit-identical across engines and the knob never enters
+    spec signatures or cache keys.
     """
+    global LAST_LADDER_ENGINE
     from ..simulation import SimulationResult
     if not fused_ladder_supported(configs):
         raise ValueError(
@@ -147,7 +165,15 @@ def fused_ladder_results(configs: Sequence[SystemConfig],
                    key=lambda position: configs[position].scc_size)
     ladder = [configs[position] for position in order]
     systems = [MultiprocessorSystem(config) for config in ladder]
-    events, times = _fused_pass(ladder, systems, streams[0])
+    passed = None
+    LAST_LADDER_ENGINE = "python"
+    if resolve_backend(backend) == "native":
+        passed = _fused_pass_native(ladder, systems, streams[0])
+        if passed is not None:
+            LAST_LADDER_ENGINE = "native"
+    if passed is None:
+        passed = _fused_pass(ladder, systems, streams[0])
+    events, times = passed
     results: List = [None] * len(configs)
     for rung, position in enumerate(order):
         system = systems[rung]
@@ -609,6 +635,11 @@ def _fused_pass(ladder: List[SystemConfig],
             span_base = data[i + 1]
             size = data[i + 2]
             stride = data[i + 3]
+            if size > 0 and stride <= 0:
+                # The element loop below would spin forever (the ladder
+                # has no cycle limit to bail it out); fail exactly like
+                # the decoded replay tiers so the differ sees parity.
+                raise ValueError(f"non-positive span stride at {i}")
             i += 4
             is_read = op == OP_READ_SPAN
             offset = 0
@@ -681,14 +712,36 @@ def _fused_pass(ladder: List[SystemConfig],
         else:
             raise ValueError(f"unknown packed opcode {op} at {i}")
 
-    # ------------------------------------------------------------------
-    # Flush deltas into each system (mirrors _run_fast's finally block
-    # plus the counters the coherence controller would have bumped).
-    # ------------------------------------------------------------------
+    times = _flush_ladder(
+        systems, n_reads=n_reads, n_writes=n_writes, u_busy=u_busy,
+        sync_stall=sync_stall, d_rmiss=d_rmiss, d_wmiss=d_wmiss,
+        d_upg=d_upg, d_evict=d_evict, d_wb=d_wb, d_wbuf=d_wbuf,
+        d_bus_wait=d_bus_wait, d_stall=d_stall, d_ic=d_ic,
+        bus_busy=bus_busy, bus_tx=bus_tx, bus_cyc=bus_cyc, base=base,
+        uref=uref, skew=skew, fin=fin, folded=folded,
+        model_icache=model_icache, ic_misses=ic_misses,
+        ic_fetch_lines=ic_fetch_lines, ic_states=ic_states,
+        ic_tags=ic_tags)
+    return ev, times
+
+
+def _flush_ladder(systems, *, n_reads, n_writes, u_busy, sync_stall,
+                  d_rmiss, d_wmiss, d_upg, d_evict, d_wb, d_wbuf,
+                  d_bus_wait, d_stall, d_ic, bus_busy, bus_tx, bus_cyc,
+                  base, uref, skew, fin, folded, model_icache,
+                  ic_misses, ic_fetch_lines, ic_states,
+                  ic_tags) -> List[int]:
+    """Flush fused-pass deltas into each system; per-size finish times.
+
+    Mirrors ``_run_fast``'s finally block plus the counters the
+    coherence controller would have bumped.  Shared by the python and
+    native passes (per-size sequences may be lists or ``array('q')``).
+    """
     busy_total = n_reads + n_writes + u_busy
     references = n_reads + n_writes
+    n_sizes = len(systems)
     times = [0] * n_sizes
-    for s in size_range:
+    for s in range(n_sizes):
         system = systems[s]
         scc = system.clusters[0].scc
         sstats = scc.stats
@@ -724,12 +777,143 @@ def _fused_pass(ladder: List[SystemConfig],
             icache = system.clusters[0].icaches[0]
             icache.misses += ic_misses
             icache.fetch_lines += ic_fetch_lines
-            # The icache tag array stores array('q'); slice-assign needs a
-            # matching array, not the plain lists the fused loop tracked.
-            icache.array._states[:] = _qarray(ic_states)
-            icache.array._tags[:] = _qarray(ic_tags)
+            # The icache tag array stores array('q'); slice-assign needs
+            # a matching array, not plain python lists.
+            if isinstance(ic_states, _qarray_type):
+                icache.array._states[:] = ic_states
+                icache.array._tags[:] = ic_tags
+            else:
+                icache.array._states[:] = _qarray(ic_states)
+                icache.array._tags[:] = _qarray(ic_tags)
         times[s] = base + skew[s]
-    return ev, times
+    return times
+
+
+def _fused_pass_native(ladder: List[SystemConfig],
+                       systems: List[MultiprocessorSystem],
+                       data: Sequence[int]):
+    """Run the fused pass through the C extension's ladder entry points.
+
+    Returns ``(events_processed, per-size finish times)`` exactly like
+    :func:`_fused_pass`, or ``None`` when the extension is unavailable
+    or predates the ladder ABI (callers degrade to the python pass).
+    Queue, lock and barrier opcodes are deferred back here (drain status
+    2) so their error messages and accounting match the python pass
+    byte for byte.
+    """
+    from .engine import native as _native
+    if not _native.ladder_available():
+        return None
+    native = _native.load()
+    config = ladder[0]
+    n_sizes = len(ladder)
+    per_size = []
+    for system in systems:
+        scc = system.clusters[0].scc
+        array = scc.array
+        per_size.append((array._states, array._tags, array._index_mask,
+                         array._tag_shift, scc._inflight,
+                         scc.interconnect._write_buffers))
+    model_icache = config.model_icache
+    if model_icache:
+        il_shift = config.icache_line_size.bit_length() - 1
+        ic_lines = config.icache_size // config.icache_line_size
+        ic_states = _qarray(bytes(8 * ic_lines))
+        ic_tags = _qarray(bytes(8 * ic_lines))
+        ic_mask = ic_lines - 1
+        ic_shift = ic_lines.bit_length() - 1
+        ic_pair = (ic_states, ic_tags)
+    else:
+        il_shift = ic_shift = ic_mask = 0
+        ic_states = ic_tags = []
+        ic_pair = ()
+    install_state = EXCLUSIVE if config.protocol == "mesi" else SHARED
+    scal = _qarray([
+        config.line_offset_bits, config.num_banks, config.bus_occupancy,
+        config.upgrade_bus_occupancy, config.memory_latency,
+        config.icache_miss_latency, config.write_buffer_depth,
+        install_state, 1 if model_icache else 0, il_shift, ic_mask,
+        ic_shift])
+    zeros = bytes(8 * n_sizes)
+    state = tuple(_qarray(zeros) for _ in range(9))
+    state[1][:] = _qarray([-1] * n_sizes)           # fin
+    (skew, fin, folded, _fill_live, _wb_live, _hot,
+     bus_busy, bus_tx, bus_cyc) = state
+    deltas = tuple(_qarray(zeros) for _ in range(9))
+    (d_rmiss, d_wmiss, d_upg, d_evict, d_wb, d_wbuf,
+     d_bus_wait, d_stall, d_ic) = deltas
+    regs = _qarray([0] * 10)
+    if not (type(data) is _qarray_type and data.typecode == "q"):
+        data = _qarray(data)
+    plan = (tuple(per_size), scal, state, deltas, ic_pair, regs)
+    lock_oh = config.lock_overhead
+    barrier_oh = config.barrier_overhead
+    sync_stall = 0
+    queues: Dict[int, list] = {}
+    held_locks: set = set()
+    ctx = native.ladder_setup(plan)
+    try:
+        drain = native.ladder_drain
+        while True:
+            status = drain(ctx, data)
+            if status == 0:
+                break
+            i = regs[0]
+            op = data[i]
+            regs[3] += 1                            # ev
+            if op == OP_ENQUEUE:
+                queues.setdefault(data[i + 1], []).append(data[i + 2])
+                i += 3
+            elif op == OP_DEQUEUE:
+                queue = queues.get(data[i + 1])
+                if queue:
+                    del queue[0]
+                i += 2
+            elif op == OP_LOCK_ACQ:
+                lock_id = data[i + 1]
+                i += 2
+                if lock_id in held_locks:
+                    raise DeadlockError(
+                        f"processes [0] blocked forever "
+                        f"(locks={{{lock_id}: 0}})")
+                held_locks.add(lock_id)
+                regs[6] += lock_oh                  # u_busy
+                regs[1] += lock_oh                  # base
+            elif op == OP_LOCK_REL:
+                lock_id = data[i + 1]
+                i += 2
+                if lock_id not in held_locks:
+                    raise SyncProtocolError(
+                        f"process 0 released lock {lock_id} "
+                        f"it does not hold")
+                held_locks.remove(lock_id)
+                regs[6] += lock_oh
+                regs[1] += lock_oh
+            elif op == OP_BARRIER:
+                count = data[i + 2]
+                i += 3
+                if count < 1:
+                    raise SyncProtocolError("barrier count must be >= 1")
+                if count > 1:
+                    raise DeadlockError(
+                        "processes [0] blocked forever (locks={})")
+                sync_stall += barrier_oh
+                regs[1] += barrier_oh
+            else:
+                raise ValueError(f"unknown packed opcode {op} at {i}")
+            regs[0] = i
+    finally:
+        native.ladder_release(ctx)
+    times = _flush_ladder(
+        systems, n_reads=regs[4], n_writes=regs[5], u_busy=regs[6],
+        sync_stall=sync_stall, d_rmiss=d_rmiss, d_wmiss=d_wmiss,
+        d_upg=d_upg, d_evict=d_evict, d_wb=d_wb, d_wbuf=d_wbuf,
+        d_bus_wait=d_bus_wait, d_stall=d_stall, d_ic=d_ic,
+        bus_busy=bus_busy, bus_tx=bus_tx, bus_cyc=bus_cyc,
+        base=regs[1], uref=regs[2], skew=skew, fin=fin, folded=folded,
+        model_icache=model_icache, ic_misses=regs[8],
+        ic_fetch_lines=regs[9], ic_states=ic_states, ic_tags=ic_tags)
+    return regs[3], times
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,11 @@ exposes:
   two-rung ladder and compared on its bottom rung (final arrays are
   internal to the fused engine, so the diff covers statistics and
   event counts).
+* **fused-native** -- the same two-rung ladder forced through the
+  compiled ladder (``backend="native"``); registered only when the
+  extension actually exposes the ladder entry points, and asserted to
+  have engaged (a silent degradation to the python ladder would make
+  the comparison trivially green).
 
 Two paths that fail with the *same* exception type are in agreement --
 error parity is part of the contract (the golden suites already pin
@@ -35,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.system import MultiprocessorSystem
 from ..trace.engine import available_backends
 from ..trace.interleave import TimingInterleaver, fused_replay_ok
+from ..trace import multiconfig
 from ..trace.multiconfig import fused_ladder_results, fused_ladder_supported
 from ..trace.packed import PackedChunk
 from .oracle import FunctionalOracle
@@ -132,6 +138,10 @@ def engine_registry() -> Dict[str, EngineSpec]:
             registry[backend] = EngineSpec(backend, _FULL, _always)
     registry["fused"] = EngineSpec("fused", ("events", "stats"),
                                    fused_eligible)
+    if _native_ladder_available():
+        registry["fused-native"] = EngineSpec("fused-native",
+                                              ("events", "stats"),
+                                              fused_eligible)
     return registry
 
 
@@ -143,6 +153,8 @@ def run_tape(tape: Tape, mode: str,
     config = tape.config()
     if mode == "fused":
         return _run_fused(tape, config)
+    if mode == "fused-native":
+        return _run_fused(tape, config, backend="native")
     if mode not in ("generic", "oracle") and mode not in _BACKEND_MODES:
         raise ValueError(f"unknown differ mode {mode!r}")
     system = MultiprocessorSystem(config)
@@ -189,14 +201,34 @@ def fused_eligible(tape: Tape) -> bool:
     return fused_ladder_supported(ladder)
 
 
-def _run_fused(tape: Tape, config) -> PathResult:
-    result = PathResult(name="fused")
+def _native_ladder_available() -> bool:
+    """Whether the compiled fused ladder can actually run here."""
+    if "native" not in available_backends():
+        return False
+    from ..trace.engine import native
+    return native.ladder_available()
+
+
+def _run_fused(tape: Tape, config,
+               backend: Optional[str] = None) -> PathResult:
+    result = PathResult(name="fused" if backend is None
+                        else f"fused-{backend}")
     ladder = [config, config.with_updates(scc_size=config.scc_size * 2)]
     streams = {0: array("q", tape.streams[0])}
     try:
-        bottom = fused_ladder_results(ladder, streams)[0]
+        bottom = fused_ladder_results(ladder, streams,
+                                      backend=backend)[0]
     except Exception as exc:
         result.error = (type(exc).__name__, str(exc))
+        result.engine_used = multiconfig.LAST_LADDER_ENGINE
+        return result
+    result.engine_used = multiconfig.LAST_LADDER_ENGINE
+    if backend is not None and result.engine_used != backend:
+        # A silently degraded ladder would agree with the baseline by
+        # construction; make the degradation a loud divergence instead.
+        result.error = ("EngineDegraded",
+                        f"requested {backend} ladder, "
+                        f"ran {result.engine_used}")
         return result
     result.fingerprint = {
         "events": bottom.events_processed,

@@ -18,12 +18,19 @@ from repro.experiments import runner
 from repro.experiments.runner import (ExperimentProfile, ResultCache,
                                       multiprogramming_sweep)
 from repro.simulation import run_simulation
+from repro.trace import multiconfig
+from repro.trace.engine import (available_backends, native_available,
+                                native_unavailable_reason,
+                                resolve_backend)
+from repro.trace.engine.native import ladder_available
 from repro.trace.multiconfig import (fused_ladder_results,
                                      fused_ladder_supported)
 from repro.trace.record import ReplayApplication, StreamRecorder, TraceCache
 from repro.workloads.multiprog import MultiprogrammingWorkload
 
 from .test_golden_stats import fingerprint
+
+COMPILED = [name for name in available_backends() if name != "python"]
 
 SIZES = (512, 1024, 2048, 4096, 8192)
 
@@ -68,6 +75,73 @@ def test_fused_fingerprints_match_per_size_replay(variant):
         per_size = run_simulation(config,
                                   ReplayApplication(streams, name="mp"))
         assert fingerprint(fused) == fingerprint(per_size)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("variant", sorted(FUSED_VARIANTS))
+def test_fused_fingerprints_on_every_backend(variant, backend,
+                                             monkeypatch):
+    """The fingerprint grid above re-run with each compiled backend
+    forced through ``$REPRO_ENGINE``, resolution asserted (mirrors
+    ``test_backends.py``).  The ladder itself has python and native
+    implementations only, so a ``numpy`` request must degrade to the
+    python ladder while per-size replay rides the numpy tier -- and a
+    ``native`` request must genuinely engage the compiled ladder."""
+    monkeypatch.setenv("REPRO_ENGINE", backend)
+    assert resolve_backend() == backend
+    if backend == "native" and not ladder_available():
+        pytest.skip("native extension loaded but predates the ladder "
+                    "ABI; python ladder covers it")
+    configs = golden_ladder(**FUSED_VARIANTS[variant])
+    recorder = StreamRecorder(golden_workload())
+    run_simulation(configs[0], recorder)
+    streams = recorder.streams
+    for config, fused in zip(configs, fused_ladder_results(configs,
+                                                           streams)):
+        per_size = run_simulation(config,
+                                  ReplayApplication(streams, name="mp"))
+        assert fingerprint(fused) == fingerprint(per_size)
+    expected = "native" if backend == "native" else "python"
+    assert multiconfig.LAST_LADDER_ENGINE == expected
+
+
+def test_native_ladder_present_or_reason():
+    """The compiled ladder either engages for real or this machine
+    reports *why* not -- a visible skip instead of one silently
+    uncovered engine (mirrors ``test_backends
+    .test_native_tier_present_or_reason``)."""
+    if not native_available():
+        reason = native_unavailable_reason()
+        assert reason, "unavailable native tier must carry a reason"
+        pytest.skip(f"native replay backend unavailable: {reason}")
+    if not ladder_available():
+        pytest.skip("native extension loaded but predates the ladder "
+                    "ABI")
+    configs = golden_ladder()
+    recorder = StreamRecorder(golden_workload())
+    run_simulation(configs[0], recorder)
+    fused_ladder_results(configs, recorder.streams, backend="native")
+    assert multiconfig.LAST_LADDER_ENGINE == "native"
+
+
+def test_ladder_backend_knob_degrades_gracefully(monkeypatch):
+    """An unavailable native ladder falls back to the python ladder
+    with identical results -- never an error, never a wrong answer."""
+    import repro.trace.engine as engine_mod
+    configs = golden_ladder()
+    recorder = StreamRecorder(golden_workload())
+    run_simulation(configs[0], recorder)
+    streams = recorder.streams
+    reference = [fingerprint(r)
+                 for r in fused_ladder_results(configs, streams,
+                                               backend="python")]
+    monkeypatch.setattr(multiconfig, "resolve_backend",
+                        lambda request=None, strict=False: "python")
+    degraded = [fingerprint(r)
+                for r in fused_ladder_results(configs, streams,
+                                              backend="native")]
+    assert degraded == reference
+    assert multiconfig.LAST_LADDER_ENGINE == "python"
 
 
 def test_sweep_results_identical_with_and_without_fusion(tmp_path):

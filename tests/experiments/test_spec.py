@@ -136,10 +136,26 @@ class TestSignature:
         base = SweepSpec.parallel("mp3d", profile=tiny_profile)
         for knobs in (dict(jobs=4), dict(fused=False),
                       dict(max_attempts=1), dict(point_timeout=5.0),
-                      dict(retry_backoff=0.0)):
+                      dict(retry_backoff=0.0), dict(backend="native"),
+                      dict(backend="python")):
             other = SweepSpec.parallel("mp3d", profile=tiny_profile,
                                        **knobs)
             assert other.signature() == base.signature()
+
+    def test_backend_absent_from_identity_and_point_keys(self,
+                                                         tiny_profile):
+        """The replay engine is execution-only: warm result caches and
+        journals must survive switching between the python, numpy, and
+        native tiers (and the compiled fused ladder rides the same
+        knob)."""
+        base = SweepSpec.parallel("mp3d", profile=tiny_profile)
+        config = SystemConfig.paper_parallel(2, 1 * KB)
+        for backend in ("python", "numpy", "native", "auto"):
+            other = SweepSpec.parallel("mp3d", profile=tiny_profile,
+                                       backend=backend)
+            assert "backend" not in other.describe()
+            assert other.signature() == base.signature()
+            assert other.point_key(config) == base.point_key(config)
 
     def test_identity_fields_change_signature(self, tiny_profile):
         base = SweepSpec.parallel("mp3d", profile=tiny_profile)

@@ -180,6 +180,138 @@ def test_span_expansion_and_resume_positions():
     assert dec.cursor_for(4, 0) == 3
 
 
+# ----------------------------------------------------------------------
+# Multi-processor vector windows (numpy backend)
+# ----------------------------------------------------------------------
+
+def _mp_run(streams, backend, procs_per_cluster=None, clusters=1,
+            max_cycles=10_000_000):
+    """Replay ``streams`` on a multi-processor machine through one
+    backend; returns ``(outcome, events, stats)`` where ``outcome`` is
+    the finish time or the raised ``(type name, message)``."""
+    from repro.core.config import SystemConfig
+    from repro.core.system import MultiprocessorSystem
+    from repro.trace.interleave import TimingInterleaver
+    from repro.trace.packed import PackedChunk
+    if procs_per_cluster is None:
+        procs_per_cluster = len(streams) // clusters
+    config = SystemConfig(clusters=clusters,
+                          processors_per_cluster=procs_per_cluster,
+                          scc_size=2048)
+    system = MultiprocessorSystem(config)
+    interleaver = TimingInterleaver(system, backend=backend)
+    for pid, data in sorted(streams.items()):
+        interleaver.add_process(pid,
+                                iter([PackedChunk(array("q", data))]))
+    try:
+        finish = interleaver.run(max_cycles=max_cycles)
+    except Exception as exc:
+        return ((type(exc).__name__, str(exc)),
+                interleaver.events_processed, None)
+    return (finish, interleaver.events_processed,
+            system.stats(finish).as_dict())
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy unavailable")
+class TestMultiProcessorWindows:
+    """Scalar parity for the shapes PR 7 delegated at entry: the numpy
+    tier now replays multi-processor unit-bank-cycle tapes itself,
+    vector windows bounded by the scheduler horizon."""
+
+    def drifting_streams(self):
+        """Proc 1 computes in large steps, giving proc 0 real horizon
+        headroom; proc 0 replays spans long enough that windows
+        truncate *mid-span* (the resume-position boundary the PR 7
+        bad-span-stride bug lived on)."""
+        warm = array("q")
+        for line_no in range(32):
+            warm.extend((OP_READ, line_no * 64))
+        spans = array("q", warm)
+        for _ in range(120):
+            spans.extend((OP_READ_SPAN, 0, 2048, 64))
+            spans.extend((OP_WRITE_SPAN, 0, 2048, 64))
+        pacer = array("q")
+        for _ in range(400):
+            pacer.extend((OP_COMPUTE, 37))
+        return {0: spans, 1: pacer}
+
+    def test_windows_engage_and_match_python_loop(self):
+        import repro.trace.engine.numpy_backend as nb
+        streams = self.drifting_streams()
+        reference = _mp_run(streams, "python")
+        nb.DEBUG = {}
+        try:
+            vectorized = _mp_run(streams, "numpy")
+            debug = dict(nb.DEBUG)
+        finally:
+            nb.DEBUG = None
+        assert vectorized == reference
+        # The parity above must actually exercise the window path --
+        # a silent fall-back to scalar would make it vacuous.
+        assert debug.get("vec_events", 0) > 0
+
+    def test_two_cluster_drift_matches_python_loop(self):
+        streams = self.drifting_streams()
+        assert (_mp_run(streams, "numpy", clusters=2,
+                        procs_per_cluster=1)
+                == _mp_run(streams, "python", clusters=2,
+                           procs_per_cluster=1))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_multiproc_tapes_match(self, seed):
+        rng = random.Random(seed)
+        streams = {0: random_stream(rng, 300),
+                   1: random_stream(rng, 300)}
+        assert _mp_run(streams, "numpy") == _mp_run(streams, "python")
+
+    def test_bad_span_stride_raises_proactively(self):
+        """The python loop spins to ``max_cycles`` on a non-positive
+        span stride (documented in ``flatten.py``); the decoded tiers
+        must convert the spin into a loud ValueError even when the bad
+        span sits mid-tape on one processor of a multi-proc machine."""
+        streams = self.drifting_streams()
+        bad = array("q", streams[0])
+        bad.extend((OP_READ_SPAN, 0, 64, -4))
+        bad.extend([OP_COMPUTE, 1] * 8)
+        streams = {0: bad, 1: streams[1]}
+        outcome, _, stats = _mp_run(streams, "numpy")
+        assert stats is None
+        assert outcome[0] == "ValueError"
+        assert "non-positive span stride" in outcome[1]
+        spin, _, _ = _mp_run(streams, "python", max_cycles=200_000)
+        assert spin[0] == "RuntimeError"
+        assert "exceeded 200000 cycles" in spin[1]
+
+    def test_unknown_opcode_error_parity(self):
+        streams = self.drifting_streams()
+        bad = array("q", streams[0])
+        bad.extend((99, 0))
+        streams = {0: bad, 1: streams[1]}
+        outcome, _, stats = _mp_run(streams, "numpy")
+        assert stats is None
+        assert outcome == _mp_run(streams, "python")[0]
+        assert outcome[0] == "ValueError"
+
+    def test_lockstep_bailout_matches_python_loop(self, monkeypatch):
+        """Tied processors never open windows; the backend hands the
+        remainder to the python loop mid-run.  Force the bail-out early
+        and pin that the hand-off is seamless."""
+        import repro.trace.engine.numpy_backend as nb
+        monkeypatch.setattr(nb, "_BAIL_EVENTS", 64)
+        lockstep = array("q")
+        for line_no in range(2000):
+            lockstep.extend((OP_READ, (line_no % 32) * 64))
+        streams = {0: lockstep, 1: array("q", lockstep)}
+        nb.DEBUG = {}
+        try:
+            vectorized = _mp_run(streams, "numpy")
+            debug = dict(nb.DEBUG)
+        finally:
+            nb.DEBUG = None
+        assert vectorized == _mp_run(streams, "python")
+        assert debug.get("bailed")
+
+
 class TestDecodeCache:
     def test_same_array_same_geometry_hits(self):
         data = random_stream(random.Random(1), 400)

@@ -199,6 +199,70 @@ class TestErrors:
 
 
 # ----------------------------------------------------------------------
+# Compiled ladder error parity
+# ----------------------------------------------------------------------
+
+def _native_ladder_ready():
+    from repro.trace.engine import native_available
+    if not native_available():
+        return False
+    from repro.trace.engine.native import ladder_available
+    return ladder_available()
+
+
+@pytest.mark.skipif(not _native_ladder_ready(),
+                    reason="native ladder unavailable")
+class TestNativeLadderErrorParity:
+    """The C ladder must fail exactly like the python ladder -- same
+    exception type, raised before any partial results escape."""
+
+    def both(self, streams):
+        outcomes = {}
+        for backend in ("python", "native"):
+            try:
+                fused_ladder_results(ladder(), streams, backend=backend)
+            except Exception as exc:
+                outcomes[backend] = (type(exc), str(exc))
+            else:
+                outcomes[backend] = None
+        return outcomes
+
+    @pytest.mark.parametrize("tape, exc_type", [
+        ([OP_BARRIER, 1, 2], DeadlockError),
+        ([OP_BARRIER, 1, 0], SyncProtocolError),
+        ([OP_LOCK_REL, 3], SyncProtocolError),
+        ([OP_LOCK_ACQ, 1, OP_LOCK_ACQ, 1], DeadlockError),
+        ([99, 0], ValueError),
+    ])
+    def test_error_tapes_agree(self, tape, exc_type):
+        outcomes = self.both({0: array("q", tape)})
+        assert outcomes["python"] is not None
+        assert outcomes["native"] is not None
+        assert outcomes["native"][0] is outcomes["python"][0] is exc_type
+
+    def test_error_after_real_work_agrees(self):
+        """A mid-tape failure after thousands of good events must not
+        leak partial per-rung results from the C pass."""
+        tape = array("q", synthetic_tape()[0])
+        tape.extend([OP_LOCK_REL, 3])
+        outcomes = self.both({0: tape})
+        assert outcomes["python"] is not None
+        assert outcomes["native"][0] is outcomes["python"][0]
+
+    def test_synthetic_tape_bit_identical_on_native(self):
+        from repro.trace import multiconfig
+        streams = synthetic_tape()
+        python = fused_ladder_results(ladder(), streams,
+                                      backend="python")
+        native = fused_ladder_results(ladder(), streams,
+                                      backend="native")
+        assert multiconfig.LAST_LADDER_ENGINE == "native"
+        for py_r, nat_r in zip(python, native):
+            assert nat_r.stats.as_dict() == py_r.stats.as_dict()
+            assert nat_r.events_processed == py_r.events_processed
+
+
+# ----------------------------------------------------------------------
 # Miss-surface mode (parallel workloads)
 # ----------------------------------------------------------------------
 
