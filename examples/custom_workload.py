@@ -15,7 +15,7 @@ the same pairs generate when split across clusters.
 Usage:  python examples/custom_workload.py
 """
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.trace import Barrier, Compute, Read, Write
 from repro.workloads import SharedHeap, TracedApplication
 

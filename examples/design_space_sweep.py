@@ -11,7 +11,7 @@ Usage:  python examples/design_space_sweep.py [mp3d|barnes|cholesky]
 
 import sys
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.workloads import BarnesHut, Cholesky, MP3D
 
 LADDER = (1 * KB, 4 * KB, 16 * KB, 32 * KB, 64 * KB)

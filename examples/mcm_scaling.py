@@ -13,7 +13,7 @@ Usage:  python examples/mcm_scaling.py [barnes|mp3d]
 
 import sys
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.cost import implementation_for, latency_factor
 from repro.workloads import BarnesHut, MP3D
 

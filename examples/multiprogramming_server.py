@@ -9,7 +9,7 @@ shared SCC's miss rate climbs as co-scheduled processes interfere.
 Usage:  python examples/multiprogramming_server.py
 """
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.workloads import MultiprogrammingWorkload
 
 

@@ -21,7 +21,7 @@ processor stall (1 trace us = 1 simulated cycle).
 Usage:  python examples/profile_bus_saturation.py
 """
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.instrument import InstrumentationProbe, write_chrome_trace
 from repro.workloads import MP3D
 

@@ -10,7 +10,7 @@ miss rates and invalidation counts.
 Usage:  python examples/quickstart.py
 """
 
-from repro import KB, SystemConfig, run_simulation
+from repro.api import KB, SystemConfig, run_simulation
 from repro.workloads import BarnesHut
 
 

@@ -12,7 +12,7 @@ Usage:  python examples/trace_capture.py
 import tempfile
 from pathlib import Path
 
-from repro import KB, SystemConfig
+from repro.api import KB, SystemConfig
 from repro.core import MultiprocessorSystem
 from repro.trace import (TimingInterleaver, event_histogram, load_trace,
                          miss_ratio_curve, reference_count, save_trace,

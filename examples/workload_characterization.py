@@ -10,7 +10,7 @@ printed here are exactly where the Section 3 figures bend.
 Usage:  python examples/workload_characterization.py
 """
 
-from repro import KB, SystemConfig
+from repro.api import KB, SystemConfig
 from repro.trace.analysis import miss_ratio_curve, working_set_lines
 from repro.trace.events import Read, Write
 from repro.workloads import BarnesHut, MP3D, spec92_workload

@@ -21,7 +21,11 @@ Python:
   and optionally write the numbers to a JSON file;
 * ``fuzz`` -- differentially verify the three timing engines against
   each other and a functional oracle over seeded adversarial tapes,
-  shrinking any divergence to a minimal repro.
+  shrinking any divergence to a minimal repro;
+* ``serve`` -- run the sweep fabric: an HTTP broker with in-process
+  workers sharing the node's result/trace cache as the artifact store;
+* ``submit`` -- send a sweep to a running fabric, stream its per-point
+  progress, and print the same tables ``sweep`` would.
 
 Examples::
 
@@ -35,6 +39,8 @@ Examples::
     python -m repro report table6
     python -m repro bench --repeat 3 --out BENCH.json
     python -m repro fuzz --seed 0 --budget 200
+    python -m repro serve --port 8765 --workers 4
+    python -m repro submit mp3d --url http://127.0.0.1:8765 --profile quick
     python -m repro list
 """
 
@@ -96,6 +102,56 @@ def _parse_size_list(text: str):
                  if part.strip())
 
 
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    """The sweep-grid knobs shared by ``sweep`` and ``submit``; they
+    feed :meth:`SweepSpec.from_cli_args`, the single CLI-to-spec path."""
+    parser.add_argument("--profile", default=None,
+                        choices=("quick", "paper"),
+                        help="workload sizing (default: REPRO_PROFILE)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="simulate uncached grid points on N worker "
+                             "processes (default: serial)")
+    parser.add_argument("--procs", type=_parse_int_list, default=None,
+                        metavar="LIST",
+                        help="processors per cluster, comma-separated "
+                             "(default: 1,2,4,8)")
+    parser.add_argument("--ladder", type=_parse_size_list, default=None,
+                        metavar="LIST",
+                        help="paper SCC sizes, comma-separated, e.g. "
+                             "4KB,8KB,16KB (default: the full ladder)")
+    parser.add_argument("--no-instrument", action="store_true",
+                        help="skip the per-point observability digest "
+                             "(keeps simulations on the packed fast "
+                             "path)")
+    parser.add_argument("--no-fused", action="store_true",
+                        help="disable the one-pass multi-configuration "
+                             "ladder engine")
+    parser.add_argument("--fidelity", default="fused",
+                        choices=("analytical", "fused", "full"),
+                        help="resolution tier: analytical prices every "
+                             "point from one recorded tape per row "
+                             "(repro.model, no simulation), fused allows "
+                             "the exact replay engines (default), full "
+                             "forces per-point simulation")
+    parser.add_argument("--backend", default=None,
+                        choices=BACKEND_CHOICES,
+                        help="packed-replay engine for simulated points "
+                             "(execution knob: results and caches are "
+                             "backend-independent; default: "
+                             "$REPRO_ENGINE, then auto)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries per failing point before it is "
+                             "quarantined (default 2)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any point taking longer "
+                             "than this (default: unlimited)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base sleep before a retry, scaled by the "
+                             "attempt number (default 0.5)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,53 +203,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep", help="run the paper's grid for one benchmark "
                       "(checkpointed; resumable after a crash)")
     sweep.add_argument("benchmark", choices=BENCHMARKS)
-    sweep.add_argument("--profile", default=None,
-                       choices=("quick", "paper"),
-                       help="workload sizing (default: REPRO_PROFILE)")
-    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="simulate uncached grid points on N worker "
-                            "processes (default: serial)")
-    sweep.add_argument("--procs", type=_parse_int_list, default=None,
-                       metavar="LIST",
-                       help="processors per cluster, comma-separated "
-                            "(default: 1,2,4,8)")
-    sweep.add_argument("--ladder", type=_parse_size_list, default=None,
-                       metavar="LIST",
-                       help="paper SCC sizes, comma-separated, e.g. "
-                            "4KB,8KB,16KB (default: the full ladder)")
-    sweep.add_argument("--no-instrument", action="store_true",
-                       help="skip the per-point observability digest "
-                            "(keeps simulations on the packed fast path)")
-    sweep.add_argument("--no-fused", action="store_true",
-                       help="disable the one-pass multi-configuration "
-                            "ladder engine")
-    sweep.add_argument("--fidelity", default="fused",
-                       choices=("analytical", "fused", "full"),
-                       help="resolution tier: analytical prices every "
-                            "point from one recorded tape per row "
-                            "(repro.model, no simulation), fused allows "
-                            "the exact replay engines (default), full "
-                            "forces per-point simulation")
-    sweep.add_argument("--backend", default=None,
-                       choices=BACKEND_CHOICES,
-                       help="packed-replay engine for simulated points "
-                            "(execution knob: results and caches are "
-                            "backend-independent; default: $REPRO_ENGINE, "
-                            "then auto)")
+    _add_grid_options(sweep)
     sweep.add_argument("--resume", action="store_true",
                        help="resume this sweep from its session journal, "
                             "recomputing only points not yet completed")
-    sweep.add_argument("--retries", type=int, default=2, metavar="N",
-                       help="retries per failing point before it is "
-                            "quarantined (default 2)")
-    sweep.add_argument("--timeout", type=float, default=None,
-                       metavar="SECONDS",
-                       help="kill and retry any point taking longer than "
-                            "this (default: unlimited)")
-    sweep.add_argument("--backoff", type=float, default=0.5,
-                       metavar="SECONDS",
-                       help="base sleep before a retry, scaled by the "
-                            "attempt number (default 0.5)")
 
     model = commands.add_parser(
         "model",
@@ -271,6 +284,42 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="repro destination "
                            "(default .repro_cache/repros)")
 
+    serve = commands.add_parser(
+        "serve", help="run the sweep fabric service: HTTP broker plus "
+                      "in-process workers over a shared artifact store")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="in-process worker threads (default: one "
+                            "per CPU)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="artifact store directory (default: the "
+                            "local result cache, $REPRO_CACHE_DIR or "
+                            ".repro_cache -- local sweeps and the "
+                            "fabric then share warmth)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="work-unit lease without a heartbeat before "
+                            "it is re-leased (default 30)")
+    serve.add_argument("--unit-attempts", type=int, default=3,
+                       metavar="N",
+                       help="lease attempts per unit before its points "
+                            "are quarantined (default 3)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a sweep to a running fabric service and "
+                       "stream its progress")
+    submit.add_argument("benchmark", choices=BENCHMARKS)
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="fabric service URL (default "
+                             "http://127.0.0.1:8765)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job handle and return without "
+                             "streaming progress or results")
+    _add_grid_options(submit)
+
     commands.add_parser("list", help="list benchmarks and experiments")
     return parser
 
@@ -325,9 +374,7 @@ def _sweep_progress(point, status, done, total, counters) -> None:
 
 def _cmd_sweep(args) -> int:
     from .experiments import (SweepSession, SweepSpec,
-                              default_session_dir, format_size,
-                              render_figure, render_figure5,
-                              render_figure6, render_speedups)
+                              default_session_dir, format_size)
     from .trace.engine import engine_degradation
     spec = SweepSpec.from_cli_args(args)
     session = SweepSession(spec, session_dir=default_session_dir(),
@@ -348,21 +395,24 @@ def _cmd_sweep(args) -> int:
         print("the rest of the grid is journaled; fix the cause and "
               "rerun with --resume")
         return 1
-    sweep = result.sweep
     print()
+    print(_render_grid(args.benchmark, result.sweep))
+    return 0
+
+
+def _render_grid(benchmark: str, sweep) -> str:
+    """The paper figures for a full grid, or the raw point table for a
+    narrowed one (shared by ``sweep`` and ``submit``)."""
+    from .experiments import (render_figure, render_figure5,
+                              render_figure6, render_speedups)
     if (8, 512 * KB) not in sweep:
         # A narrowed --procs/--ladder grid lacks the paper figures'
         # normalization base; print the raw per-point table instead.
-        print(_render_sweep_points(args.benchmark, sweep))
-    elif args.benchmark == "multiprogramming":
-        print(render_figure5(sweep))
-        print()
-        print(render_figure6(sweep))
-    else:
-        print(render_figure(args.benchmark, sweep))
-        print()
-        print(render_speedups(args.benchmark, sweep))
-    return 0
+        return _render_sweep_points(benchmark, sweep)
+    if benchmark == "multiprogramming":
+        return f"{render_figure5(sweep)}\n\n{render_figure6(sweep)}"
+    return (f"{render_figure(benchmark, sweep)}\n\n"
+            f"{render_speedups(benchmark, sweep)}")
 
 
 def _render_sweep_points(benchmark: str, sweep) -> str:
@@ -490,7 +540,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_model(args) -> int:
     import json
-    from .experiments import (PAPER_LADDER, PROCS_SWEPT, SweepSpec,
+    from .experiments import (PAPER_LADDER, SweepSpec,
                               default_session_dir, format_size,
                               render_table, run_sweep)
     from .model import cross_validate
@@ -536,13 +586,8 @@ def _cmd_model(args) -> int:
         print("model: name a benchmark to predict, or pass --validate",
               file=sys.stderr)
         return 2
-    knobs = dict(profile=profile, ladder=ladder,
-                 procs=args.procs or PROCS_SWEPT,
-                 instrument=False, fidelity="analytical")
-    if args.benchmark == "multiprogramming":
-        spec = SweepSpec.multiprogramming(**knobs)
-    else:
-        spec = SweepSpec.parallel(args.benchmark, **knobs)
+    spec = SweepSpec.from_cli_args(args, profile=profile, ladder=ladder,
+                                   fidelity="analytical")
     sweep = run_sweep(spec, trace_cache=trace_cache,
                       session_dir=default_session_dir())
     rows = [[procs, format_size(paper_bytes),
@@ -727,9 +772,10 @@ def _bench_sweep(repeat: int, backend: Optional[str] = None) -> dict:
     fast_times = []
     try:
         trace_cache = TraceCache(scratch / "traces")
-        spec = SweepSpec.multiprogramming(profile=profile, ladder=ladder,
-                                          procs=procs, instrument=False,
-                                          backend=backend)
+        spec = SweepSpec.from_cli_args(
+            argparse.Namespace(), benchmark="multiprogramming",
+            profile=profile, ladder=ladder, procs=procs,
+            instrument=False, backend=backend)
         for index in range(max(2, repeat + 1)):
             # Fresh result cache each round so every point simulates or
             # replays; the trace cache stays warm after round one.
@@ -782,7 +828,8 @@ def _bench_fused(repeat: int, backend: Optional[str] = None) -> dict:
     timings = {False: [], True: []}
     try:
         trace_cache = TraceCache(scratch / "traces")
-        specs = {fused: SweepSpec.multiprogramming(
+        specs = {fused: SweepSpec.from_cli_args(
+                     argparse.Namespace(), benchmark="multiprogramming",
                      profile=profile, ladder=ladder, procs=procs,
                      instrument=False, fused=fused, backend=backend)
                  for fused in (False, True)}
@@ -843,7 +890,8 @@ def _bench_analytical(repeat: int) -> dict:
     timings = {"fused": [], "analytical": []}
     try:
         trace_cache = TraceCache(scratch / "traces")
-        specs = {fidelity: SweepSpec.multiprogramming(
+        specs = {fidelity: SweepSpec.from_cli_args(
+                     argparse.Namespace(), benchmark="multiprogramming",
                      profile=profile, ladder=ladder, procs=procs,
                      instrument=False, fidelity=fidelity)
                  for fidelity in ("fused", "analytical")}
@@ -954,6 +1002,83 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+    from pathlib import Path
+    from .fabric import ArtifactStore, Broker, FabricService, Worker
+    import threading
+    store = (ArtifactStore(Path(args.store)) if args.store
+             else ArtifactStore.default())
+    broker = Broker(store, lease_ttl=args.lease_ttl,
+                    max_unit_attempts=args.unit_attempts)
+    workers = args.workers or os.cpu_count() or 1
+    stop = threading.Event()
+    for index in range(workers):
+        worker = Worker(broker, worker_id=f"serve-{index + 1}")
+        threading.Thread(target=worker.run, kwargs={"stop": stop},
+                         name=worker.worker_id, daemon=True).start()
+
+    async def _serve() -> int:
+        service = FabricService(broker, args.host, args.port)
+        await service.start()
+        print(f"fabric service on {service.url} "
+              f"({workers} worker(s), store: "
+              f"{store.directory or 'memory'})", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("fabric service stopped")
+        return 0
+    finally:
+        stop.set()
+
+
+def _cmd_submit(args) -> int:
+    from .experiments import SweepSpec, format_size
+    from .fabric import FabricError, SweepClient
+    from .experiments.session import QuarantinedPointError
+    spec = SweepSpec.from_cli_args(args)
+    client = SweepClient.connect(args.url)
+    try:
+        handle = client.submit(spec)
+        print(f"job {handle.job}: {handle.total} point(s), "
+              f"{handle.store_hits} already in the store, "
+              f"{handle.pending_units} work unit(s) queued", flush=True)
+        if args.no_wait:
+            print(f"stream later with: curl {args.url}/jobs/"
+                  f"{handle.job}/stream")
+            return 0
+        for event in client.iter_progress(handle):
+            if event.get("event") == "point":
+                status = event["status"]
+                print(f"  [{event['done']}/{event['total']}] "
+                      f"procs={event['procs']} "
+                      f"scc={format_size(event['scc'])} {status}",
+                      flush=True)
+        sweep = client.result(handle, timeout=60.0)
+    except QuarantinedPointError as exc:
+        print()
+        print(f"QUARANTINED {len(exc.quarantined)} point(s):")
+        for (procs, paper_bytes), reason in sorted(
+                exc.quarantined.items()):
+            print(f"  procs={procs} scc={format_size(paper_bytes)}: "
+                  f"{reason}")
+        return 1
+    except FabricError as exc:
+        print(f"fabric error: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(_render_grid(args.benchmark, sweep))
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from .verify import run_fuzz
 
@@ -1012,6 +1137,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return _cmd_list()
 
 

@@ -16,7 +16,7 @@ from .runner import (CACHE_VERSION, PAPER_LADDER, PROCS_SWEPT, PROFILES,
                      multiprogramming_sweep, parallel_sweep, run_point)
 from .session import (QuarantinedPointError, SessionJournal,
                       SessionResult, SweepSession, default_session_dir,
-                      prune_stale_journals, run_sweep)
+                      grid_sweep, prune_stale_journals, run_sweep)
 from .spec import KNOWN_BENCHMARKS, SweepSpec, point_cache_key
 from .svgfig import render_svg_chart, save_svg_chart
 from .tables import (PAPER_TABLE6, PAPER_TABLE7, render_section4_costs,
@@ -38,8 +38,8 @@ __all__ = [
     "parallel_sweep", "run_point",
     "KNOWN_BENCHMARKS", "SweepSpec", "point_cache_key",
     "QuarantinedPointError", "SessionJournal", "SessionResult",
-    "SweepSession", "default_session_dir", "prune_stale_journals",
-    "run_sweep",
+    "SweepSession", "default_session_dir", "grid_sweep",
+    "prune_stale_journals", "run_sweep",
     "PAPER_TABLE6", "PAPER_TABLE7", "render_section4_costs",
     "render_table5", "render_table6", "render_table7",
     "surfaces_from_sweeps",

@@ -446,9 +446,9 @@ def _resolve_via_traces(benchmark: str, profile: ExperimentProfile,
 # Legacy sweep entry points (shims over run_sweep)
 # ----------------------------------------------------------------------
 
-_SHIM_DEPRECATION = ("{}() is deprecated; build a "
-                     "repro.experiments.SweepSpec and call "
-                     "run_sweep(spec) instead")
+_SHIM_DEPRECATION = ("{}() is deprecated and will be removed in "
+                     "repro 2.0; build a repro.experiments.SweepSpec "
+                     "and call run_sweep(spec) instead")
 
 
 def parallel_sweep(benchmark: str,

@@ -50,8 +50,9 @@ from .runner import (ResultCache, RunStats, Sweep, _compute_point_pooled,
 from .spec import GridPoint, SweepSpec, point_cache_key
 
 __all__ = ["SweepSession", "SessionResult", "SessionJournal",
-           "run_sweep", "QuarantinedPointError", "default_session_dir",
-           "prune_stale_journals", "FAULT_INJECT_ENV"]
+           "run_sweep", "grid_sweep", "QuarantinedPointError",
+           "default_session_dir", "prune_stale_journals",
+           "FAULT_INJECT_ENV"]
 
 _LOG = logging.getLogger(__name__)
 
@@ -486,9 +487,9 @@ class SweepSession:
         by_row: Dict[int, List[GridPoint]] = {}
         for point in missing:
             by_row.setdefault(point[0], []).append(point)
-        profile_cache = (
-            ProfileCache(Path(self.trace_cache.directory) / "profiles")
-            if self.trace_cache is not None else None)
+        trace_dir = getattr(self.trace_cache, "directory", None)
+        profile_cache = (ProfileCache(Path(trace_dir) / "profiles")
+                         if trace_dir is not None else None)
         remainder: List[GridPoint] = []
         for procs, row_points in sorted(by_row.items()):
             row_points = sorted(row_points)
@@ -771,3 +772,21 @@ def run_sweep(spec: SweepSpec,
     if result.quarantined:
         raise QuarantinedPointError(result.quarantined)
     return result.sweep
+
+
+def grid_sweep(spec: SweepSpec, **kwargs) -> Sweep:
+    """Resolve a *grid* spec locally: always
+    ``{(procs, paper_bytes): RunStats}``.
+
+    The blessed :mod:`repro.api` spelling of :func:`run_sweep` for the
+    paper's two-dimensional design-space grids -- the type a
+    :class:`~repro.fabric.client.SweepClient` submission returns, so
+    ``grid_sweep(spec) == client.result(client.submit(spec))`` point
+    for point.  Miss-surface specs (whose result shape differs) are
+    rejected; run those through :func:`run_sweep`.
+    """
+    if spec.kind == "miss-surface":
+        raise ValueError("grid_sweep() resolves point grids; "
+                         "miss-surface sweeps return per-process "
+                         "surfaces -- use run_sweep(spec)")
+    return run_sweep(spec, **kwargs)

@@ -32,7 +32,11 @@ from ..workloads.multiprog import MultiprogrammingWorkload
 __all__ = ["ExperimentProfile", "PROFILES", "active_profile",
            "PAPER_LADDER", "PROCS_SWEPT", "KNOWN_BENCHMARKS",
            "SWEEP_KINDS", "FIDELITIES", "point_cache_key", "SweepSpec",
-           "GridPoint"]
+           "GridPoint", "WIRE_VERSION"]
+
+WIRE_VERSION = 1
+"""Version tag of the :meth:`SweepSpec.to_wire` JSON payload (the
+fabric's submit body).  Bump only on incompatible wire changes."""
 
 PAPER_LADDER: Tuple[int, ...] = tuple(
     kb * KB for kb in (4, 8, 16, 32, 64, 128, 256, 512))
@@ -311,28 +315,58 @@ class SweepSpec:
                    procs=(procs_per_cluster,), **knobs)
 
     @classmethod
-    def from_cli_args(cls, args) -> "SweepSpec":
-        """Build a spec from the ``repro sweep`` argparse namespace."""
-        profile = (PROFILES[args.profile] if args.profile
-                   else active_profile())
-        fidelity = getattr(args, "fidelity", None) or "fused"
+    def from_cli_args(cls, args, **overrides) -> "SweepSpec":
+        """The single CLI-namespace -> spec path.
+
+        Every subcommand that turns parsed arguments into a sweep
+        (``sweep``, ``model``, ``bench``, ``submit``) goes through here:
+        attributes missing from the namespace fall back to the spec
+        defaults, and keyword ``overrides`` pin whatever the subcommand
+        fixes itself (e.g. ``model`` passes ``fidelity="analytical"``,
+        ``bench`` pins its scenario grid).  An override wins over the
+        namespace unconditionally.
+        """
+
+        def pick(name, default=None):
+            if name in overrides:
+                return overrides.pop(name)
+            return getattr(args, name, default)
+
+        benchmark = pick("benchmark")
+        if benchmark is None:
+            raise ValueError("from_cli_args needs a benchmark (positional "
+                             "argument or benchmark= override)")
+        profile = pick("profile")
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        if profile is None:
+            profile = active_profile()
+        fidelity = pick("fidelity") or "fused"
+        instrument = overrides.pop(
+            "instrument", not getattr(args, "no_instrument", False))
+        fused = overrides.pop(
+            "fused", not getattr(args, "no_fused", False))
+        ladder = pick("ladder")
+        procs = pick("procs")
         knobs = dict(
             profile=profile,
-            ladder=tuple(args.ladder) if args.ladder else None,
-            procs=(tuple(args.procs) if args.procs else PROCS_SWEPT),
-            instrument=(not args.no_instrument
-                        and fidelity != "analytical"),
-            fused=not args.no_fused and fidelity != "full",
+            ladder=tuple(ladder) if ladder else None,
+            procs=tuple(procs) if procs else PROCS_SWEPT,
+            instrument=instrument and fidelity != "analytical",
+            fused=fused and fidelity != "full",
             fidelity=fidelity,
-            backend=getattr(args, "backend", None),
-            jobs=args.jobs,
-            max_attempts=args.retries + 1,
-            point_timeout=args.timeout,
-            retry_backoff=args.backoff,
+            backend=pick("backend"),
+            jobs=pick("jobs"),
+            max_attempts=pick("retries", 2) + 1,
+            point_timeout=pick("timeout"),
+            retry_backoff=pick("backoff", 0.5),
         )
-        if args.benchmark == "multiprogramming":
+        if overrides:
+            raise TypeError(f"unknown from_cli_args override(s): "
+                            f"{sorted(overrides)}")
+        if benchmark == "multiprogramming":
             return cls.multiprogramming(**knobs)
-        return cls.parallel(args.benchmark, **knobs)
+        return cls.parallel(benchmark, **knobs)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -403,3 +437,62 @@ class SweepSpec:
         payload = json.dumps(self.describe(), sort_keys=True)
         return hashlib.sha256(
             f"s{CACHE_VERSION}:{payload}".encode()).hexdigest()[:24]
+
+    # ------------------------------------------------------------------
+    # Wire format (the fabric's submit payload)
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        """Complete JSON-safe payload: identity *and* execution knobs.
+
+        Unlike :meth:`describe` (which deliberately omits execution
+        knobs so signatures stay stable) this is a full round-trip --
+        ``SweepSpec.from_wire(spec.to_wire())`` reconstructs an equal
+        spec, which is what ``repro.fabric`` ships between client,
+        broker, and workers.
+        """
+        return {
+            "version": WIRE_VERSION,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "profile": asdict(self.profile),
+            "ladder": list(self.ladder),
+            "procs": list(self.procs),
+            "instrument": self.instrument,
+            "fused": self.fused,
+            "fidelity": self.fidelity,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "max_attempts": self.max_attempts,
+            "point_timeout": self.point_timeout,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "SweepSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_wire`."""
+        if not isinstance(payload, dict):
+            raise ValueError("wire spec must be a JSON object")
+        version = payload.get("version")
+        if version != WIRE_VERSION:
+            raise ValueError(f"unsupported spec wire version {version!r} "
+                             f"(this build speaks {WIRE_VERSION})")
+        try:
+            profile = ExperimentProfile(**payload["profile"])
+            return cls(
+                kind=payload["kind"],
+                benchmark=payload["benchmark"],
+                profile=profile,
+                ladder=tuple(payload["ladder"]),
+                procs=tuple(payload["procs"]),
+                instrument=bool(payload["instrument"]),
+                fused=bool(payload["fused"]),
+                fidelity=payload["fidelity"],
+                backend=payload.get("backend"),
+                jobs=payload.get("jobs"),
+                max_attempts=int(payload.get("max_attempts", 3)),
+                point_timeout=payload.get("point_timeout"),
+                retry_backoff=float(payload.get("retry_backoff", 0.5)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed spec wire payload: {exc}") from None

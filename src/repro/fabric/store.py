@@ -1,0 +1,141 @@
+"""Content-addressed shared artifact store.
+
+The fabric's data plane.  Workers publish every resolved point and
+every recorded tape here; the broker reads points back out to settle
+work units and to serve *warm* submissions without dispatching any work
+at all.
+
+The store deliberately invents **no new key scheme**: results are
+addressed by the existing
+:func:`repro.experiments.spec.point_cache_key` format (via
+``SweepSpec.point_key``) and tapes by the workload's
+``trace_signature``, stored through the very same
+:class:`~repro.experiments.runner.ResultCache` and
+:class:`~repro.trace.record.TraceCache` classes local sweeps use.
+``ArtifactStore(".repro_cache")`` therefore *is* the default local
+cache, byte for byte: a sweep run locally warms the fabric, a sweep run
+through the fabric warms every local session, and journals keep
+resolving against the same entries.  Both caches already write through
+per-PID temporaries and ``os.replace``, so many workers (or many hosts
+over a shared filesystem) can race on a key safely.
+
+Publishing is idempotent: :meth:`ArtifactStore.publish` writes only
+when the key is absent, so a duplicate completion -- e.g. a straggler
+whose lease expired finishing after its re-leased twin -- never
+rewrites an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..experiments.runner import ResultCache, RunStats
+from ..trace.record import TraceCache
+
+__all__ = ["ArtifactStore", "MemoryResultCache", "MemoryTraceCache"]
+
+
+class MemoryResultCache:
+    """Dict-backed stand-in for :class:`ResultCache` (same get/put
+    surface) so a single-process fabric is testable without disk."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RunStats] = {}
+        self.puts = 0
+
+    def get(self, key: str) -> Optional[RunStats]:
+        return self._entries.get(key)
+
+    def put(self, key: str, stats: RunStats) -> None:
+        self.puts += 1
+        self._entries[key] = stats
+
+
+class MemoryTraceCache:
+    """Dict-backed stand-in for :class:`TraceCache`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[int, array]] = {}
+
+    def get(self, signature: str) -> Optional[Dict[int, array]]:
+        streams = self._entries.get(signature)
+        if streams is None:
+            return None
+        return {proc: array("q", data) for proc, data in streams.items()}
+
+    def put(self, signature: str, streams: Dict[int, array]) -> None:
+        self._entries[signature] = {proc: array("q", data)
+                                    for proc, data in streams.items()}
+
+
+class ArtifactStore:
+    """Results + tapes under one root, in the local cache layout.
+
+    ``directory`` is laid out exactly like ``.repro_cache``: result
+    JSON files at the top level, recordings under ``traces/``.  Pass
+    the node's actual ``.repro_cache`` (the ``serve`` CLI default) to
+    share warmth with local sweeps, or any shared mount to share it
+    across hosts.
+    """
+
+    def __init__(self, directory: Optional[Path] = None,
+                 results=None, traces=None):
+        if directory is not None:
+            directory = Path(directory)
+            self.directory: Optional[Path] = directory
+            self.results = ResultCache(directory)
+            self.traces = TraceCache(directory / "traces")
+        else:
+            if results is None or traces is None:
+                raise ValueError("ArtifactStore needs a directory or "
+                                 "explicit results= and traces= caches")
+            self.directory = getattr(results, "directory", None)
+            self.results = results
+            self.traces = traces
+
+    @classmethod
+    def in_memory(cls) -> "ArtifactStore":
+        """A process-local store (tests, ephemeral fabrics)."""
+        return cls(results=MemoryResultCache(), traces=MemoryTraceCache())
+
+    @classmethod
+    def default(cls) -> "ArtifactStore":
+        """The local cache layout (``REPRO_CACHE_DIR`` honoured), i.e.
+        the same entries ``repro.experiments.runner.default_cache`` and
+        ``default_trace_cache`` read and write."""
+        return cls(Path(os.environ.get("REPRO_CACHE_DIR",
+                                       ".repro_cache")))
+
+    # ------------------------------------------------------------------
+    # Results (content-addressed by the existing point_cache_key scheme)
+    # ------------------------------------------------------------------
+
+    def get_stats(self, key: str) -> Optional[RunStats]:
+        return self.results.get(key)
+
+    def publish(self, key: str, stats: RunStats) -> bool:
+        """Store ``stats`` under ``key`` unless the key is already
+        populated; returns ``True`` only when a write happened.
+
+        The key is content-derived (the full parameterisation of the
+        point), so an existing entry is the same result by construction
+        -- a duplicate completion is dropped, not rewritten.
+        """
+        if self.results.get(key) is not None:
+            return False
+        self.results.put(key, stats)
+        return True
+
+    # ------------------------------------------------------------------
+    # Tapes (keyed by trace signature)
+    # ------------------------------------------------------------------
+
+    def get_streams(self, signature: str) -> Optional[Dict[int, array]]:
+        return self.traces.get(signature)
+
+    def put_streams(self, signature: str,
+                    streams: Dict[int, array]) -> None:
+        self.traces.put(signature, streams)

@@ -1,0 +1,57 @@
+"""Wire-level helpers shared by the fabric's broker, workers, service,
+and client.
+
+Everything that crosses a transport boundary is plain JSON: specs go as
+:meth:`repro.experiments.spec.SweepSpec.to_wire` payloads, grid points
+as ``"<procs>/<paper_bytes>"`` labels (the same label format the
+session journal uses), and results as
+:meth:`repro.experiments.runner.RunStats.as_dict` objects.  Keeping the
+vocabulary here means the in-memory transport and the HTTP transport
+cannot drift apart: both serialize through exactly these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..experiments.runner import RunStats
+from ..experiments.spec import GridPoint
+
+__all__ = ["FabricError", "point_label", "parse_point_label",
+           "sweep_to_wire", "sweep_from_wire"]
+
+
+class FabricError(RuntimeError):
+    """A fabric request that could not be honoured (unknown job, bad
+    spec, unsupported sweep kind...).  Raised identically by the local
+    and the HTTP transport so callers never branch on the wire."""
+
+
+def point_label(point: GridPoint) -> str:
+    """``(procs, paper_bytes)`` -> ``"procs/paper_bytes"``."""
+    return f"{point[0]}/{point[1]}"
+
+
+def parse_point_label(label: str) -> GridPoint:
+    """Inverse of :func:`point_label`."""
+    try:
+        procs_text, bytes_text = label.split("/")
+        return (int(procs_text), int(bytes_text))
+    except ValueError:
+        raise FabricError(f"malformed point label {label!r}; "
+                          f"expected '<procs>/<paper_bytes>'") from None
+
+
+def sweep_to_wire(sweep: Dict[GridPoint, RunStats]) -> Dict[str, dict]:
+    """``{point: RunStats}`` -> JSON-safe ``{label: stats dict}``."""
+    return {point_label(point): stats.as_dict()
+            for point, stats in sweep.items()}
+
+
+def sweep_from_wire(
+        payload: Optional[Dict[str, dict]]) -> Dict[GridPoint, RunStats]:
+    """Inverse of :func:`sweep_to_wire`."""
+    if not payload:
+        return {}
+    return {parse_point_label(label): RunStats.from_dict(stats)
+            for label, stats in payload.items()}
