@@ -16,6 +16,9 @@ purpose:
   ``python -m repro serve`` (or an in-process :class:`LocalFabric`) --
   ``client.result(client.submit(spec))`` equals ``grid_sweep(spec)``
   point for point, served from the same content-addressed store;
+* search the design space: :func:`optimize` a :class:`DesignSpace`
+  through a :class:`FunnelEvaluator` (locally or through a
+  :class:`SweepClient`) for the cost/performance Pareto frontier;
 * or drop to a single simulation: :func:`run_simulation` on a
   :class:`SystemConfig`.
 
@@ -42,6 +45,9 @@ from .experiments.spec import SweepSpec
 from .fabric.client import (JobHandle, LocalFabric, SweepClient)
 from .fabric.store import ArtifactStore
 from .fabric.wire import FabricError
+from .optimize import (BudgetLedger, Candidate, DesignSpace,
+                       FunnelEvaluator, OptimizeResult, optimize,
+                       render_frontier)
 from .simulation import SimulationResult, run_simulation
 
 __all__ = [
@@ -53,6 +59,9 @@ __all__ = [
     # run on the fabric
     "ArtifactStore", "FabricError", "JobHandle", "LocalFabric",
     "SweepClient",
+    # search the design space
+    "BudgetLedger", "Candidate", "DesignSpace", "FunnelEvaluator",
+    "OptimizeResult", "optimize", "render_frontier",
     # single simulations
     "KB", "SimulationResult", "SystemConfig", "run_simulation",
 ]

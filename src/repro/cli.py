@@ -102,6 +102,12 @@ def _parse_size_list(text: str):
                  if part.strip())
 
 
+def _parse_str_list(text: str):
+    """Parse ``mp3d,cholesky`` into a tuple of names."""
+    return tuple(part.strip() for part in text.split(",")
+                 if part.strip())
+
+
 def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     """The sweep-grid knobs shared by ``sweep`` and ``submit``; they
     feed :meth:`SweepSpec.from_cli_args`, the single CLI-to-spec path."""
@@ -319,6 +325,68 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the job handle and return without "
                              "streaming progress or results")
     _add_grid_options(submit)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="seeded Pareto-frontier search over the cluster design "
+             "space (procs, SCC size, associativity, banks, protocol, "
+             "write buffers) for the best cost/performance")
+    optimize.add_argument("--benchmarks", type=_parse_str_list,
+                          default=("mp3d",), metavar="LIST",
+                          help="benchmarks the fitness averages over, "
+                               "comma-separated (default: mp3d)")
+    optimize.add_argument("--profile", default=None,
+                          choices=("quick", "paper"),
+                          help="workload sizing (default: REPRO_PROFILE)")
+    optimize.add_argument("--seed", type=int, default=0, metavar="N",
+                          help="search seed; the same seed always "
+                               "returns the same frontier (default 0)")
+    optimize.add_argument("--generations", type=int, default=3,
+                          metavar="N",
+                          help="genetic generations (default 3)")
+    optimize.add_argument("--population", type=int, default=12,
+                          metavar="N",
+                          help="candidates per generation (default 12)")
+    optimize.add_argument("--promote", type=int, default=4, metavar="N",
+                          help="triage survivors promoted to the exact "
+                               "fused tier per generation (default 4)")
+    optimize.add_argument("--procs", type=_parse_int_list, default=None,
+                          metavar="LIST",
+                          help="processors-per-cluster domain "
+                               "(default: 1,2,4,8)")
+    optimize.add_argument("--ladder", type=_parse_size_list, default=None,
+                          metavar="LIST",
+                          help="paper SCC size domain, e.g. 4KB,8KB "
+                               "(default: the full ladder)")
+    optimize.add_argument("--no-knobs", action="store_true",
+                          help="search only the paper's (procs, SCC) "
+                               "plane; hold associativity, banks, "
+                               "protocol and write buffers at presets")
+    optimize.add_argument("--budget-analytical", type=int, default=None,
+                          metavar="N",
+                          help="analytical-tier point budget "
+                               "(default 4096)")
+    optimize.add_argument("--budget-fused", type=int, default=None,
+                          metavar="N",
+                          help="fused-tier point budget (default 512)")
+    optimize.add_argument("--budget-full", type=int, default=None,
+                          metavar="N",
+                          help="full-confirm point budget (default 128)")
+    optimize.add_argument("--no-confirm", action="store_true",
+                          help="skip the full-fidelity frontier confirm "
+                               "pass")
+    optimize.add_argument("--url", default=None, metavar="URL",
+                          help="evaluate candidate batches through a "
+                               "running fabric service instead of "
+                               "locally")
+    optimize.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for uncached points "
+                               "(local evaluation only)")
+    optimize.add_argument("--backend", default=None,
+                          choices=BACKEND_CHOICES,
+                          help="packed-replay engine for simulated "
+                               "points (default: $REPRO_ENGINE, then "
+                               "auto)")
 
     commands.add_parser("list", help="list benchmarks and experiments")
     return parser
@@ -1110,6 +1178,60 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_optimize(args) -> int:
+    from .experiments.session import QuarantinedPointError
+    from .optimize import (BudgetLedger, DesignSpace, FunnelEvaluator,
+                           optimize, render_frontier)
+
+    unknown = sorted(set(args.benchmarks) - set(BENCHMARKS))
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+
+    profile = _profile(args.profile)
+    space_kwargs = {"explore_knobs": not args.no_knobs}
+    if args.procs:
+        space_kwargs["procs"] = args.procs
+    if args.ladder:
+        space_kwargs["ladder"] = args.ladder
+    space = DesignSpace(profile, **space_kwargs)
+
+    budgets = {}
+    if args.budget_analytical is not None:
+        budgets["analytical"] = args.budget_analytical
+    if args.budget_fused is not None:
+        budgets["fused"] = args.budget_fused
+    if args.budget_full is not None:
+        budgets["full"] = args.budget_full
+
+    client = None
+    if args.url is not None:
+        from .fabric import SweepClient
+        client = SweepClient.connect(args.url)
+    evaluator = FunnelEvaluator(
+        profile, benchmarks=args.benchmarks,
+        budget=BudgetLedger(budgets or None),
+        client=client, jobs=args.jobs, backend=args.backend)
+
+    print(f"searching {len(space.procs)} x {len(space.ladder)} grid "
+          f"points x knobs (seed {args.seed}, "
+          f"{args.generations} generation(s), "
+          f"population {args.population})...", flush=True)
+    try:
+        result = optimize(space, evaluator, seed=args.seed,
+                          generations=args.generations,
+                          population_size=args.population,
+                          promote=args.promote,
+                          confirm=not args.no_confirm)
+    except QuarantinedPointError as exc:
+        print(f"optimize aborted: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(render_frontier(result))
+    return 0 if result.rediscovers_paper() else 1
+
+
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in BENCHMARKS:
@@ -1141,6 +1263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
     return _cmd_list()
 
 

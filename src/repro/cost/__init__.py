@@ -3,10 +3,11 @@ blocks, crossbar ICN, pad counting, chip floorplans, the pixstats-style
 load-latency sensitivity model, and the cost/performance combination."""
 
 from .costperf import (ComparisonCell, ComparisonTable,
+                       MissingSurfacePointError, NORMALIZATION_CONFIG,
                        compare_configurations, cost_performance_gain,
-                       mcm_table, single_chip_table)
+                       mcm_table, single_chip_table, surface_from_results)
 from .floorplan import (CLUSTER_IMPLEMENTATIONS, ClusterImplementation,
-                        implementation_for)
+                        candidate_cluster_area_mm2, implementation_for)
 from .icn import DEFAULT_PITCH_UM, WIRES_PER_PORT, crossbar_area_mm2
 from .latency import (PAPER_LATENCY_MODELS, PAPER_TABLE5, LoadLatencyModel,
                       latency_factor)
@@ -19,9 +20,12 @@ from .technology import (ALPHA_21064, BANK_ARBITRATION_FO4, CYCLE_TIME_FO4,
                          PAPER_PROCESS, ProcessNode, ScaledProcessor)
 
 __all__ = [
-    "ComparisonCell", "ComparisonTable", "compare_configurations",
+    "ComparisonCell", "ComparisonTable", "MissingSurfacePointError",
+    "NORMALIZATION_CONFIG", "compare_configurations",
     "cost_performance_gain", "mcm_table", "single_chip_table",
-    "CLUSTER_IMPLEMENTATIONS", "ClusterImplementation", "implementation_for",
+    "surface_from_results",
+    "CLUSTER_IMPLEMENTATIONS", "ClusterImplementation",
+    "candidate_cluster_area_mm2", "implementation_for",
     "DEFAULT_PITCH_UM", "WIRES_PER_PORT", "crossbar_area_mm2",
     "PAPER_LATENCY_MODELS", "PAPER_TABLE5", "LoadLatencyModel",
     "latency_factor",

@@ -27,19 +27,69 @@ from typing import Dict, List, Mapping, Tuple
 from .floorplan import implementation_for
 from .latency import latency_factor
 
-__all__ = ["ComparisonCell", "ComparisonTable", "compare_configurations",
-           "single_chip_table", "mcm_table", "cost_performance_gain"]
+__all__ = ["ComparisonCell", "ComparisonTable", "MissingSurfacePointError",
+           "NORMALIZATION_CONFIG", "compare_configurations",
+           "surface_from_results", "single_chip_table", "mcm_table",
+           "cost_performance_gain"]
 
 KB = 1024
 
 Surface = Mapping[Tuple[int, int], float]
 """(processors per cluster, paper SCC bytes) -> simulated cycles."""
 
-_NORMALIZATION_CONFIG = (8, 512 * KB)
+NORMALIZATION_CONFIG = (8, 512 * KB)
 """Every comparison is expressed relative to the best Section 3
 configuration (eight processors per cluster, 512 KB SCC, uncorrected),
 which reads on the paper's tables: its Table 7 entries sit a little
 above 1."""
+
+_NORMALIZATION_CONFIG = NORMALIZATION_CONFIG  # pre-optimizer spelling
+
+
+class MissingSurfacePointError(KeyError):
+    """A performance surface lacks a configuration a comparison needs.
+
+    Surfaces used to be built only by the full-grid table pipelines, so
+    a bare ``KeyError`` on a raw tuple was survivable; the design-space
+    optimizer builds them programmatically from arbitrary candidate
+    sets, where "which benchmark, which point, what *is* there" is the
+    whole diagnosis.  Subclasses :class:`KeyError` so pre-existing
+    ``except KeyError`` callers keep working.
+    """
+
+    def __init__(self, benchmark: str, point: Tuple[int, int],
+                 role: str = "requested configuration"):
+        super().__init__((benchmark, point))
+        self.benchmark = benchmark
+        self.point = point
+        self.role = role
+
+    def __str__(self) -> str:
+        procs, scc_bytes = self.point
+        return (f"surface for benchmark {self.benchmark!r} has no entry "
+                f"for the {self.role} (procs_per_cluster={procs}, "
+                f"scc={scc_bytes // KB} KB paper bytes)")
+
+
+def _surface_time(surface: Surface, benchmark: str,
+                  point: Tuple[int, int], role: str) -> float:
+    try:
+        return surface[point]
+    except KeyError:
+        raise MissingSurfacePointError(benchmark, point, role) from None
+
+
+def surface_from_results(results: Mapping[Tuple[int, int], object]
+                         ) -> Dict[Tuple[int, int], float]:
+    """Execution-time surface from sweep results.
+
+    ``results`` is a ``{(procs_per_cluster, paper_scc_bytes): RunStats}``
+    mapping as returned by ``grid_sweep``/``SweepClient.result`` (plain
+    cycle counts also pass through) -- the adapter the optimizer uses to
+    feed candidate evaluations straight into this module.
+    """
+    return {point: float(getattr(stats, "execution_time", stats))
+            for point, stats in results.items()}
 
 
 @dataclass(frozen=True)
@@ -67,6 +117,11 @@ class ComparisonTable:
         """The cells of one benchmark, in configuration order."""
         by_config = {(c.processors_per_cluster, c.scc_paper_bytes): c
                      for c in self.cells if c.benchmark == benchmark}
+        missing = [config for config in self.configurations
+                   if config not in by_config]
+        if missing:
+            raise MissingSurfacePointError(benchmark, missing[0],
+                                           role="table configuration")
         return [by_config[config] for config in self.configurations]
 
     @property
@@ -85,6 +140,10 @@ class ComparisonTable:
         for benchmark in self.benchmarks:
             cells = {(c.processors_per_cluster, c.scc_paper_bytes): c
                      for c in self.cells if c.benchmark == benchmark}
+            for config in (slower, faster):
+                if config not in cells:
+                    raise MissingSurfacePointError(
+                        benchmark, config, role="speedup configuration")
             ratios.append(cells[slower].normalized_time
                           / cells[faster].normalized_time)
         return sum(ratios) / len(ratios)
@@ -92,19 +151,27 @@ class ComparisonTable:
 
 def compare_configurations(
         surfaces: Mapping[str, Surface],
-        configurations: Tuple[Tuple[int, int], ...]) -> ComparisonTable:
+        configurations: Tuple[Tuple[int, int], ...],
+        normalization: Tuple[int, int] = NORMALIZATION_CONFIG
+        ) -> ComparisonTable:
     """Build a latency-corrected comparison over ``configurations``.
 
     ``surfaces`` maps benchmark name to its performance surface; each
     configuration is ``(processors_per_cluster, paper SCC bytes)``.
+    Every surface must contain ``normalization`` (by default the paper's
+    8-processor/512 KB reference) and every requested configuration;
+    anything absent raises :class:`MissingSurfacePointError` naming the
+    benchmark and point.
     """
     cells: List[ComparisonCell] = []
     for benchmark, surface in surfaces.items():
-        base = surface[_NORMALIZATION_CONFIG]
+        base = _surface_time(surface, benchmark, normalization,
+                             role="normalization configuration")
         for procs, scc_bytes in configurations:
             implementation = implementation_for(procs)
             factor = latency_factor(benchmark, implementation.load_latency)
-            raw = surface[(procs, scc_bytes)]
+            raw = _surface_time(surface, benchmark, (procs, scc_bytes),
+                                role="requested configuration")
             cells.append(ComparisonCell(
                 benchmark=benchmark,
                 processors_per_cluster=procs,

@@ -31,7 +31,7 @@ from .sram import DATA_CACHE_BLOCK, SCC_BANK_BLOCK, cache_area_mm2
 from .technology import PAPER_PROCESS, ScaledProcessor
 
 __all__ = ["ClusterImplementation", "CLUSTER_IMPLEMENTATIONS",
-           "implementation_for"]
+           "implementation_for", "candidate_cluster_area_mm2"]
 
 KB = 1024
 
@@ -145,3 +145,81 @@ def implementation_for(processors: int) -> ClusterImplementation:
         raise ValueError(
             f"the paper implements 1, 2, 4 or 8 processors per cluster, "
             f"not {processors}") from None
+
+
+# ----------------------------------------------------------------------
+# Parametric candidate areas (design-space search)
+# ----------------------------------------------------------------------
+
+_ASSOC_AREA_PER_DOUBLING = 0.03
+"""Fractional cache-area surcharge per doubling of associativity
+(duplicated tag comparators and way-select muxes alongside every set;
+the data array itself does not grow)."""
+
+_WRITE_BUFFER_ENTRY_MM2 = 0.05
+"""Area of one additional write-buffer entry per SCC bank.  The 8 mm^2
+SCC bank block already includes the paper's depth (the default
+:class:`~repro.core.config.SystemConfig` ships four entries); deeper
+buffers pay per entry per bank, shallower ones get the saving."""
+
+_DEFAULT_WRITE_BUFFER_DEPTH = 4
+_DEFAULT_BANKS_PER_PROCESSOR = 4
+
+
+def candidate_cluster_area_mm2(processors: int, scc_bytes: int,
+                               associativity: int = 1,
+                               banks_per_processor: int =
+                               _DEFAULT_BANKS_PER_PROCESSOR,
+                               write_buffer_depth: int =
+                               _DEFAULT_WRITE_BUFFER_DEPTH) -> float:
+    """Cluster silicon area (all chips) of an arbitrary candidate.
+
+    The paper only drew floorplans for its four designs; a design-space
+    search needs a cost for every candidate it visits.  This model
+    anchors on the quoted implementation for ``processors`` (so every
+    paper design point returns exactly its quoted area) and adjusts the
+    parametric components that differ:
+
+    * the SCC/data-cache macro count for a different capacity;
+    * the crossbar bundle area for a different bank provisioning;
+    * a tag/way-mux surcharge for set associativity;
+    * per-bank write-buffer entries beyond the block's built-in depth.
+
+    ``protocol`` is deliberately absent: MESI versus MSI is a handful of
+    state bits per line and controller states -- area noise at this
+    scale (it trades bus traffic, not silicon).
+    """
+    impl = implementation_for(processors)
+    if scc_bytes < 1:
+        raise ValueError("scc_bytes must be positive")
+    if associativity < 1:
+        raise ValueError("associativity must be >= 1")
+    if banks_per_processor < 1:
+        raise ValueError("banks_per_processor must be >= 1")
+    if write_buffer_depth < 1:
+        raise ValueError("write_buffer_depth must be >= 1")
+
+    block = DATA_CACHE_BLOCK if processors == 1 else SCC_BANK_BLOCK
+    cache = cache_area_mm2(scc_bytes, block)
+    delta_cache = cache - cache_area_mm2(impl.scc_bytes, block)
+    delta_assoc = (cache * _ASSOC_AREA_PER_DOUBLING
+                   * (associativity.bit_length() - 1))
+    if processors == 1:
+        # No ICN and no SCC write buffers on the uniprocessor chip.
+        delta_icn = 0.0
+        delta_wbuf = 0.0
+    else:
+        banks = banks_per_processor * processors
+        banks_per_chip = max(1, banks // impl.chips)
+        delta_icn = impl.chips * (
+            crossbar_area_mm2(impl.ports_per_icn, banks_per_chip)
+            - crossbar_area_mm2(impl.ports_per_icn, impl.banks))
+        delta_wbuf = (banks * _WRITE_BUFFER_ENTRY_MM2
+                      * (write_buffer_depth
+                         - _DEFAULT_WRITE_BUFFER_DEPTH))
+    area = (impl.cluster_area_mm2 + delta_cache + delta_icn
+            + delta_assoc + delta_wbuf)
+    # A candidate can undercut the drawn floorplan (smaller SCC,
+    # fewer banks) but never below its cores-plus-overhead floor.
+    floor = impl.cluster_area_mm2 - cache_area_mm2(impl.scc_bytes, block)
+    return max(area, floor + block.area_mm2)

@@ -494,6 +494,12 @@ class SweepSession:
         for procs, row_points in sorted(by_row.items()):
             row_points = sorted(row_points)
             config0 = self._configs[(procs, min(spec.ladder))]
+            if spec.analytical_refused(config0):
+                # strict_parallel: the surrogate is known-bad on
+                # multi-processor parallel rows; hand the whole row to
+                # the exact tiers below instead of predicting it.
+                remainder.extend(row_points)
+                continue
             tracked = tuple(sorted({
                 self._configs[(procs, paper_bytes)].scc_lines
                 for paper_bytes in spec.ladder}))
@@ -547,7 +553,8 @@ class SweepSession:
                     profile_cache.put(profile_key, row_profile)
             for point in row_points:
                 stats = predict_point(row_profile, self._configs[point],
-                                      benchmark=spec.benchmark)
+                                      benchmark=spec.benchmark,
+                                      strict_parallel=spec.strict_parallel)
                 if self.cache is not None:
                     self.cache.put(spec.point_key(self._configs[point]),
                                    stats)

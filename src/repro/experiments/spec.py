@@ -31,8 +31,8 @@ from ..workloads.multiprog import MultiprogrammingWorkload
 
 __all__ = ["ExperimentProfile", "PROFILES", "active_profile",
            "PAPER_LADDER", "PROCS_SWEPT", "KNOWN_BENCHMARKS",
-           "SWEEP_KINDS", "FIDELITIES", "point_cache_key", "SweepSpec",
-           "GridPoint", "WIRE_VERSION"]
+           "SWEEP_KINDS", "FIDELITIES", "VARIANT_KNOBS",
+           "point_cache_key", "SweepSpec", "GridPoint", "WIRE_VERSION"]
 
 WIRE_VERSION = 1
 """Version tag of the :meth:`SweepSpec.to_wire` JSON payload (the
@@ -142,17 +142,48 @@ def active_profile() -> ExperimentProfile:
                          f"known profiles: {sorted(PROFILES)}") from None
 
 
+VARIANT_KNOBS: Tuple[str, ...] = ("associativity", "banks_per_processor",
+                                  "protocol", "write_buffer_depth")
+"""The :class:`~repro.core.config.SystemConfig` knobs a sweep may vary
+away from the paper presets (via :attr:`SweepSpec.variants`).  The
+design-space optimizer searches over these."""
+
+_VARIANT_KEY_TAGS: Tuple[Tuple[str, str], ...] = (
+    ("associativity", "assoc"), ("banks_per_processor", "banks"),
+    ("protocol", "protocol"), ("write_buffer_depth", "wbuf"))
+"""Cache-key component per variant knob, in canonical order."""
+
+
+def _variant_key_suffix(config: SystemConfig) -> str:
+    """Cache-key components for knobs set away from the paper presets.
+
+    Empty for every preset-built grid (all existing caches keep their
+    exact keys); a candidate exploring e.g. two-way associativity gets
+    a distinct ``|assoc=2`` entry so it can never shadow -- or be
+    served -- the direct-mapped result.
+    """
+    defaults = SystemConfig()
+    return "".join(
+        f"|{tag}={getattr(config, knob)}"
+        for knob, tag in _VARIANT_KEY_TAGS
+        if getattr(config, knob) != getattr(defaults, knob))
+
+
 def point_cache_key(benchmark: str, profile: ExperimentProfile,
                     config: SystemConfig, instrument: bool = True) -> str:
     """The result-cache key of one grid point.
 
     The format is stable across releases (it predates
     :class:`SweepSpec`) so warm caches survive the API redesign.
+    Non-preset variant knobs (associativity, banks, protocol, write
+    buffers) append their own components; preset-built grids -- every
+    sweep that existed before the optimizer -- keep byte-identical keys.
     """
     key = (f"{benchmark}|{profile}|clusters={config.clusters}"
            f"|procs={config.processors_per_cluster}"
            f"|scc={config.scc_size}|icache={config.icache_size}"
-           f"|model_icache={config.model_icache}")
+           f"|model_icache={config.model_icache}"
+           f"{_variant_key_suffix(config)}")
     if not instrument:
         # Digest-less payloads get their own entries so a benchmark run
         # never shadows the default instrumented payload (and the default
@@ -204,6 +235,25 @@ class SweepSpec:
     under distinct keys, and never interchangeable with simulated ones
     -- while ``fused`` vs ``full`` only changes how the same exact
     results are obtained."""
+
+    variants: Tuple[Tuple[str, object], ...] = ()
+    """Config knobs applied on top of the paper presets for *every*
+    grid point, as sorted ``(knob, value)`` pairs restricted to
+    :data:`VARIANT_KNOBS` -- how the design-space optimizer prices
+    candidates beyond the (procs, SCC) plane.  Part of the spec's
+    identity: variants change the simulated machine, so they appear in
+    :meth:`describe` (when non-empty; preset sweeps keep their existing
+    signatures) and in every :meth:`point_key` via the knob's cache-key
+    component."""
+
+    strict_parallel: bool = False
+    """Analytical sweeps only: refuse the surrogate for multi-processor
+    *parallel* rows (where its error is known to be large, MAE ~ 0.09)
+    and resolve them through the exact trace/fused tiers instead.  The
+    optimizer sets this so tier-one triage never ranks candidates on
+    known-bad predictions.  Affects which rows are predictions, so it
+    is identity when set (refused rows use their exact, full-fidelity
+    point keys)."""
 
     backend: Optional[str] = None
     """Packed-replay engine for simulated points (``auto``/``python``/
@@ -265,6 +315,24 @@ class SweepSpec:
             _require(self.kind != "miss-surface",
                      "miss-surface sweeps are already content-only "
                      "analyses; fidelity does not apply")
+        _require(not self.strict_parallel or self.fidelity == "analytical",
+                 "strict_parallel gates the analytical surrogate; it has "
+                 "no meaning for exact fidelities")
+        # Variants: canonicalize to sorted pairs with preset-valued
+        # entries dropped, so equal machines always spell equal specs.
+        defaults = SystemConfig()
+        cleaned = {}
+        for pair in self.variants:
+            knob, value = pair
+            _require(knob in VARIANT_KNOBS,
+                     f"variant knob must be one of {VARIANT_KNOBS}, "
+                     f"not {knob!r}")
+            _require(knob not in cleaned or cleaned[knob] == value,
+                     f"variant knob {knob!r} given twice")
+            if value != getattr(defaults, knob):
+                cleaned[knob] = value
+        object.__setattr__(self, "variants",
+                           tuple(sorted(cleaned.items())))
         if self.backend is not None:
             from ..trace.engine import BACKEND_CHOICES
             _require(self.backend in BACKEND_CHOICES,
@@ -380,19 +448,20 @@ class SweepSpec:
                 "miss-surface sweeps are row analyses, not point grids; "
                 "run them through run_sweep()")
         scale = self.profile.ladder_scale
+        overrides = dict(self.variants)
         if self.kind == "multiprogramming":
             icache = max(16 * KB // scale, 512)
             return {
                 (count, paper_bytes):
                     SystemConfig.paper_multiprogramming(
                         count, paper_bytes // scale).with_updates(
-                            icache_size=icache)
+                            icache_size=icache, **overrides)
                 for paper_bytes in self.ladder
                 for count in self.procs
             }
         return {
             (count, paper_bytes): SystemConfig.paper_parallel(
-                count, paper_bytes // scale)
+                count, paper_bytes // scale).with_updates(**overrides)
             for paper_bytes in self.ladder
             for count in self.procs
         }
@@ -407,10 +476,21 @@ class SweepSpec:
         """
         key = point_cache_key(self.benchmark, self.profile, config,
                               self.instrument)
-        if self.fidelity == "analytical":
+        if self.fidelity == "analytical" \
+                and not self.analytical_refused(config):
             from ..model.profile import MODEL_VERSION
             key += f"|fidelity=analytical|model=v{MODEL_VERSION}"
         return key
+
+    def analytical_refused(self, config: SystemConfig) -> bool:
+        """Whether ``strict_parallel`` routes this point to the exact
+        tiers: multi-processor *parallel* rows are where the surrogate
+        is known-bad (interleaving-aware merge still missing).  Refused
+        points resolve exactly, so they keep their exact point keys --
+        a strict sweep can be warmed by (and warms) ordinary fused
+        sweeps, and never serves a stale prediction."""
+        return (self.strict_parallel and config.clusters > 1
+                and config.processors_per_cluster > 1)
 
     def describe(self) -> Dict[str, object]:
         """JSON-safe identity payload (the fields that determine the
@@ -429,6 +509,10 @@ class SweepSpec:
         }
         if self.fidelity == "analytical":
             payload["fidelity"] = "analytical"
+            if self.strict_parallel:
+                payload["strict_parallel"] = True
+        if self.variants:
+            payload["variants"] = [list(pair) for pair in self.variants]
         return payload
 
     def signature(self) -> str:
@@ -461,6 +545,8 @@ class SweepSpec:
             "instrument": self.instrument,
             "fused": self.fused,
             "fidelity": self.fidelity,
+            "variants": [list(pair) for pair in self.variants],
+            "strict_parallel": self.strict_parallel,
             "backend": self.backend,
             "jobs": self.jobs,
             "max_attempts": self.max_attempts,
@@ -488,6 +574,10 @@ class SweepSpec:
                 instrument=bool(payload["instrument"]),
                 fused=bool(payload["fused"]),
                 fidelity=payload["fidelity"],
+                variants=tuple((str(knob), value) for knob, value
+                               in payload.get("variants") or ()),
+                strict_parallel=bool(payload.get("strict_parallel",
+                                                 False)),
                 backend=payload.get("backend"),
                 jobs=payload.get("jobs"),
                 max_attempts=int(payload.get("max_attempts", 3)),

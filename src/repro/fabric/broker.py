@@ -306,7 +306,17 @@ class Broker:
                 raise FabricError(f"unknown work unit {unit_id!r}")
             job = self.jobs[unit.job_id]
             point = self._parse_point(job, label)
-            if status != "quarantined" and point not in job.results:
+            if status == "quarantined":
+                # Settling happens at unit completion (retries may still
+                # clear the point), but the report must not be swallowed:
+                # stream it so progress watchers see the poisoned point
+                # the moment the worker gives up an attempt on it.
+                self._emit(job, {"event": "point", "point": label,
+                                 "procs": point[0], "scc": point[1],
+                                 "status": status, "worker": worker_id,
+                                 "done": job.settled,
+                                 "total": job.total})
+            elif point not in job.results:
                 stats = self.store.get_stats(
                     job.spec.point_key(job.configs[point]))
                 if stats is not None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -132,12 +133,24 @@ class HttpTransport:
 
     def result(self, job_id: str,
                timeout: Optional[float]) -> Optional[dict]:
-        wait = self.poll_timeout if timeout is None else timeout
-        payload = self._request(
-            "GET", f"/jobs/{job_id}/result?timeout={wait}", timeout=wait)
-        if payload.get("pending"):
-            return None
-        return payload
+        # Mirror LocalTransport/Broker.result semantics exactly:
+        # timeout=None blocks until the job finishes (as a sequence of
+        # bounded long-polls, so no single HTTP request waits forever),
+        # a finite timeout returns None once it lapses with the job
+        # still running.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            wait = self.poll_timeout
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - time.monotonic()))
+            payload = self._request(
+                "GET", f"/jobs/{job_id}/result?timeout={wait}",
+                timeout=wait)
+            if not payload.get("pending"):
+                return payload
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
 
 
 class SweepClient:
@@ -167,7 +180,15 @@ class SweepClient:
     def iter_progress(self, handle: Union[JobHandle, str],
                       poll_timeout: float = 10.0) -> Iterator[dict]:
         """Yield the job's event stream (``submitted``, per-``point``,
-        ``unit`` lifecycle, final ``done``) until the job finishes."""
+        ``unit`` lifecycle, final ``done``) until the job finishes.
+
+        Termination does not *depend* on spotting a ``done`` event: if
+        an event page comes back drained, the job's state is consulted
+        directly, so a stream whose terminal event was lost (or a job
+        that finished -- e.g. quarantined its last point -- before the
+        first poll with a truncated log) ends instead of long-polling
+        forever.
+        """
         job_id = self._job_id(handle)
         index = 0
         while True:
@@ -177,6 +198,12 @@ class SweepClient:
                 if event.get("event") == "done":
                     return
             index = page["next"]
+            if not page["events"]:
+                # Drained without a terminal event: the long poll timed
+                # out.  Double-check the job state rather than trusting
+                # the event log to eventually deliver "done".
+                if self.transport.status(job_id).get("state") == "done":
+                    return
 
     def result(self, handle: Union[JobHandle, str],
                timeout: Optional[float] = None

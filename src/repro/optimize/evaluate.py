@@ -1,0 +1,319 @@
+"""The three-tier evaluation funnel and its budget accounting.
+
+Candidates are priced through a funnel of increasing fidelity:
+
+* **analytical** -- the :mod:`repro.model` surrogate triages the bulk
+  of the population for free (no simulation).  Parallel rows with more
+  than one processor per cluster -- exactly where the surrogate is
+  known-bad (miss-ratio MAE ~ 0.09) -- skip this tier: the evaluator
+  routes them straight to the fused tier, and the specs it does build
+  carry ``strict_parallel=True`` so the session would refuse such rows
+  anyway.
+* **fused** -- the exact trace/fused-replay engines score the
+  survivors.  These specs use the default instrumented cache keys, so
+  an optimizer run warms (and is warmed by) ordinary ``repro sweep``
+  runs over the same grid points.
+* **full** -- per-point simulation confirms the frontier.  Fused and
+  full share cache keys byte-for-byte, so the confirm pass over points
+  the fused tier already resolved costs zero simulator calls.
+
+Every tier draws from a :class:`BudgetLedger`; exhausting a tier's
+allowance raises :class:`BudgetExhausted`, which the search loop
+catches to stop gracefully with the frontier found so far.
+
+Fitness follows Section 5: the latency-corrected normalized execution
+time of :func:`repro.cost.costperf.compare_configurations` (relative
+to the paper's 8-processor / 512 KB reference), composed with the
+parametric floorplan area.  ``cost_performance`` is their product --
+normalized time x relative area -- so *lower is better* and the
+paper's 24% Section 5.1 gain appears as a 1/1.24 ratio between the
+two-processor and one-processor entries.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..cost.costperf import (NORMALIZATION_CONFIG, compare_configurations,
+                             surface_from_results)
+from ..cost.floorplan import CLUSTER_IMPLEMENTATIONS, implementation_for
+from ..cost.latency import latency_factor
+from ..experiments.session import grid_sweep
+from ..experiments.spec import FIDELITIES, ExperimentProfile, SweepSpec
+from .space import Candidate
+
+__all__ = ["BudgetExhausted", "BudgetLedger", "DEFAULT_TIER_BUDGETS",
+           "Evaluation", "FunnelEvaluator"]
+
+TIERS = FIDELITIES
+"""Funnel tiers, in ascending fidelity: analytical, fused, full."""
+
+DEFAULT_TIER_BUDGETS: Dict[str, Optional[int]] = {
+    "analytical": 4096, "fused": 512, "full": 128}
+"""Grid points each tier may evaluate per search (``None`` caps
+nothing).  Analytical points are model lookups, so the triage tier is
+roomy; the exact tiers bound the simulation bill."""
+
+
+class BudgetExhausted(RuntimeError):
+    """A tier's point allowance ran out mid-search."""
+
+    def __init__(self, tier: str, requested: int, remaining: int):
+        self.tier = tier
+        self.requested = requested
+        self.remaining = remaining
+        super().__init__(
+            f"{tier} tier budget exhausted: {requested} point(s) "
+            f"requested, {remaining} remaining")
+
+
+class BudgetLedger:
+    """Per-tier accounting of grid points the funnel has evaluated.
+
+    Points are charged when a spec is *submitted*, whether or not the
+    result comes back warm -- deterministic bookkeeping that does not
+    depend on cache state, so the same seed always charges the same
+    bill (the acceptance criterion for reproducible searches)."""
+
+    def __init__(self, budgets: Optional[Mapping[str, Optional[int]]]
+                 = None):
+        merged = dict(DEFAULT_TIER_BUDGETS)
+        if budgets:
+            unknown = sorted(set(budgets) - set(TIERS))
+            if unknown:
+                raise ValueError(f"unknown budget tier(s) {unknown}; "
+                                 f"tiers are {list(TIERS)}")
+            merged.update(budgets)
+        self._caps = merged
+        self._spent = {tier: 0 for tier in TIERS}
+
+    def remaining(self, tier: str) -> Optional[int]:
+        cap = self._caps[tier]
+        if cap is None:
+            return None
+        return max(0, cap - self._spent[tier])
+
+    def spent(self, tier: str) -> int:
+        return self._spent[tier]
+
+    def charge(self, tier: str, points: int) -> None:
+        """Record ``points`` evaluations against ``tier`` (raises
+        :class:`BudgetExhausted` without charging if they don't fit)."""
+        remaining = self.remaining(tier)
+        if remaining is not None and points > remaining:
+            raise BudgetExhausted(tier, points, remaining)
+        self._spent[tier] += points
+
+    def summary(self) -> Dict[str, Dict[str, Optional[int]]]:
+        """JSON-safe ``{tier: {"spent": n, "cap": cap}}`` report."""
+        return {tier: {"spent": self._spent[tier], "cap": self._caps[tier]}
+                for tier in TIERS}
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One candidate priced at one funnel tier."""
+
+    candidate: Candidate
+    tier: str
+    normalized_times: Tuple[Tuple[str, float], ...]
+    """Per-benchmark latency-corrected times relative to the paper's
+    8-processor / 512 KB reference (sorted by benchmark name)."""
+
+    mean_normalized_time: float
+    area_mm2: float
+    relative_area: float
+    """Cluster area relative to the 204 mm^2 uniprocessor cluster."""
+
+    cost_performance: float
+    """``mean_normalized_time * relative_area`` -- lower is better."""
+
+    def dominates(self, other: "Evaluation") -> bool:
+        """Pareto dominance on (relative area, mean normalized time)."""
+        no_worse = (self.relative_area <= other.relative_area
+                    and self.mean_normalized_time
+                    <= other.mean_normalized_time)
+        better = (self.relative_area < other.relative_area
+                  or self.mean_normalized_time
+                  < other.mean_normalized_time)
+        return no_worse and better
+
+
+_UNIPROCESSOR_AREA = CLUSTER_IMPLEMENTATIONS[1].cluster_area_mm2
+
+
+class FunnelEvaluator:
+    """Price candidate batches at a funnel tier via sweep machinery.
+
+    Candidates sharing (processors, variant knobs) are batched into one
+    :class:`SweepSpec` per benchmark whose ladder is their SCC sizes,
+    so the fused engine resolves a whole row in one pass.  Execution
+    goes through :func:`~repro.experiments.session.grid_sweep` locally,
+    or through a :class:`~repro.fabric.client.SweepClient` when one is
+    supplied -- candidate batches ride the same fabric as any sweep.
+
+    Every point is keyed by the existing ``point_cache_key`` scheme,
+    which is the warmth contract: searches and plain sweeps share one
+    result cache in both directions.
+    """
+
+    def __init__(self, profile: ExperimentProfile,
+                 benchmarks: Iterable[str] = ("mp3d",),
+                 budget: Optional[BudgetLedger] = None,
+                 client=None,
+                 cache=None, trace_cache=None, session_dir=None,
+                 jobs: Optional[int] = None,
+                 backend: Optional[str] = None):
+        self.profile = profile
+        self.benchmarks = tuple(sorted(set(benchmarks)))
+        if not self.benchmarks:
+            raise ValueError("benchmarks must name at least one workload")
+        self.budget = budget if budget is not None else BudgetLedger()
+        self.client = client
+        self._sweep_kwargs = {}
+        if cache is not None:
+            self._sweep_kwargs["cache"] = cache
+        if trace_cache is not None:
+            self._sweep_kwargs["trace_cache"] = trace_cache
+        if session_dir is not None:
+            self._sweep_kwargs["session_dir"] = session_dir
+        self.jobs = jobs
+        self.backend = backend
+        self._base_times: Dict[str, float] = {}
+        self._memo: Dict[Tuple[Candidate, str], Evaluation] = {}
+
+    # ------------------------------------------------------------------
+
+    def _kind(self, benchmark: str) -> str:
+        return ("multiprogramming" if benchmark == "multiprogramming"
+                else "parallel")
+
+    def _effective_tier(self, tier: str, benchmark: str,
+                        procs: int) -> str:
+        """Route known-bad surrogate rows past the analytical tier:
+        multi-processor *parallel* rows go straight to fused (the
+        strict-parallel policy, applied before any spec is built)."""
+        if (tier == "analytical" and self._kind(benchmark) == "parallel"
+                and procs > 1):
+            return "fused"
+        return tier
+
+    def _build_spec(self, benchmark: str, procs: int,
+                    ladder: Tuple[int, ...],
+                    variants: Tuple[Tuple[str, object], ...],
+                    tier: str) -> SweepSpec:
+        return SweepSpec(
+            kind=self._kind(benchmark),
+            benchmark=benchmark,
+            profile=self.profile,
+            ladder=ladder,
+            procs=(procs,),
+            variants=variants,
+            fidelity=tier,
+            instrument=tier != "analytical",
+            fused=tier != "full",
+            strict_parallel=tier == "analytical",
+            backend=self.backend,
+            jobs=self.jobs,
+        )
+
+    def _run_spec(self, spec: SweepSpec):
+        self.budget.charge(spec.fidelity,
+                           len(spec.ladder) * len(spec.procs))
+        if self.client is not None:
+            return self.client.result(self.client.submit(spec))
+        return grid_sweep(spec, **self._sweep_kwargs)
+
+    def _base_time(self, benchmark: str) -> float:
+        """Raw time of the 8-processor / 512 KB reference (always exact
+        fidelity -- predictions never set the normalization base)."""
+        if benchmark not in self._base_times:
+            procs, scc = NORMALIZATION_CONFIG
+            spec = self._build_spec(benchmark, procs, (scc,), (), "fused")
+            results = self._run_spec(spec)
+            surface = surface_from_results(results)
+            self._base_times[benchmark] = surface[(procs, scc)]
+        return self._base_times[benchmark]
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, candidates: Iterable[Candidate],
+                 tier: str) -> List[Evaluation]:
+        """Price ``candidates`` at ``tier``; returns one
+        :class:`Evaluation` per distinct candidate, in sorted order.
+
+        Previously-priced (candidate, tier) pairs are served from the
+        in-run memo without touching the budget.  Raises
+        :class:`BudgetExhausted` once the tier's allowance runs out --
+        by then every already-priced candidate remains memoized, so
+        callers can stop gracefully with partial coverage.
+        """
+        if tier not in TIERS:
+            raise ValueError(f"tier must be one of {list(TIERS)}, "
+                             f"not {tier!r}")
+        todo = sorted(c for c in set(candidates)
+                      if (c, tier) not in self._memo)
+
+        # Batch by (procs, variants): one spec per batch per benchmark,
+        # with the batch's SCC sizes as the ladder.
+        batches: Dict[Tuple[int, Tuple[Tuple[str, object], ...]],
+                      List[Candidate]] = {}
+        for candidate in todo:
+            key = (candidate.procs, candidate.variants())
+            batches.setdefault(key, []).append(candidate)
+
+        raw_times: Dict[Tuple[Candidate, str], float] = {}
+        for (procs, variants), group in sorted(batches.items()):
+            ladder = tuple(sorted({c.scc_paper_bytes for c in group}))
+            for benchmark in self.benchmarks:
+                self._base_time(benchmark)  # prime in deterministic order
+                effective = self._effective_tier(tier, benchmark, procs)
+                spec = self._build_spec(benchmark, procs, ladder,
+                                        variants, effective)
+                surface = surface_from_results(self._run_spec(spec))
+                for candidate in group:
+                    raw_times[(candidate, benchmark)] = surface[
+                        candidate.grid_point()]
+
+        for candidate in todo:
+            self._memo[(candidate, tier)] = self._score(candidate, tier,
+                                                        raw_times)
+        return [self._memo[(candidate, tier)]
+                for candidate in sorted(set(candidates))]
+
+    def _score(self, candidate: Candidate, tier: str,
+               raw_times: Mapping[Tuple[Candidate, str], float]
+               ) -> Evaluation:
+        point = candidate.grid_point()
+        normalized: List[Tuple[str, float]] = []
+        for benchmark in self.benchmarks:
+            base = self._base_time(benchmark)
+            raw = raw_times[(candidate, benchmark)]
+            if point == NORMALIZATION_CONFIG:
+                # The candidate sits exactly on the normalization point:
+                # a two-entry surface would collide (variant knobs, or a
+                # prediction vs the exact base), so apply the Table 6/7
+                # arithmetic directly.
+                factor = latency_factor(
+                    benchmark, implementation_for(point[0]).load_latency)
+                normalized.append((benchmark, raw * factor / base))
+            else:
+                table = compare_configurations(
+                    {benchmark: {NORMALIZATION_CONFIG: base, point: raw}},
+                    configurations=(point,))
+                normalized.append(
+                    (benchmark, table.cells[0].normalized_time))
+        mean_time = statistics.fmean(time for _, time in normalized)
+        area = candidate.area_mm2()
+        relative_area = area / _UNIPROCESSOR_AREA
+        return Evaluation(
+            candidate=candidate,
+            tier=tier,
+            normalized_times=tuple(normalized),
+            mean_normalized_time=mean_time,
+            area_mm2=area,
+            relative_area=relative_area,
+            cost_performance=mean_time * relative_area,
+        )

@@ -1,0 +1,67 @@
+"""Human-readable rendering of an optimizer run."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..experiments.report import format_size, render_table
+from .search import OptimizeResult
+
+__all__ = ["render_frontier"]
+
+
+def render_frontier(result: OptimizeResult) -> str:
+    """The frontier table plus the paper verdicts and budget lines."""
+    benchmarks = ()
+    if result.frontier:
+        benchmarks = tuple(
+            name for name, _ in
+            result.frontier[0].evaluation.normalized_times)
+    headers = (["design", "area mm^2", "rel area"]
+               + [f"{name} time" for name in benchmarks]
+               + ["mean time", "cost*perf", "paper?"])
+    rows = []
+    for point in result.frontier:
+        e = point.evaluation
+        rows.append(
+            [e.candidate.label(), f"{e.area_mm2:.0f}",
+             f"{e.relative_area:.2f}"]
+            + [f"{time:.3f}" for _, time in e.normalized_times]
+            + [f"{e.mean_normalized_time:.3f}",
+               f"{e.cost_performance:.3f}",
+               "yes" if point.is_paper_recommendation else ""])
+    lines: List[str] = [render_table(
+        f"Cost/performance Pareto frontier (seed {result.seed}, "
+        f"{result.generations_run} generation(s))", headers, rows)]
+
+    lines.append("")
+    lines.append("Paper Section 5 recommendations:")
+    if not result.verdicts:
+        lines.append("  (none priced -- budget exhausted)")
+    for verdict in result.verdicts:
+        procs = verdict.candidate.procs
+        size = format_size(verdict.candidate.scc_paper_bytes)
+        if verdict.on_frontier:
+            status = "on the frontier"
+        elif verdict.dominated_by is not None:
+            status = f"dominated by {verdict.dominated_by.label()}"
+        else:
+            status = "off the frontier (not dominated: frontier trades "\
+                     "along another axis)"
+        lines.append(f"  {procs}p / {size}: {status} "
+                     f"(cost*perf "
+                     f"{verdict.evaluation.cost_performance:.3f})")
+    lines.append(
+        "  verdict: search "
+        + ("REDISCOVERS (or beats) the paper's designs"
+           if result.rediscovers_paper()
+           else "does NOT cover the paper's designs"))
+
+    lines.append("")
+    lines.append("Funnel budget (grid points evaluated / cap):")
+    for tier, entry in result.budget.items():
+        cap = "unlimited" if entry["cap"] is None else entry["cap"]
+        lines.append(f"  {tier:10s} {entry['spent']} / {cap}")
+    if result.stopped_early:
+        lines.append("  search stopped early: a tier budget ran out")
+    return "\n".join(lines)

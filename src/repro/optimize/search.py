@@ -1,0 +1,228 @@
+"""Seeded Pareto-frontier search over the cluster design space.
+
+:func:`optimize` runs a small genetic loop over
+:class:`~repro.optimize.space.Candidate` designs, pricing each
+generation through the :class:`~repro.optimize.evaluate.FunnelEvaluator`
+tiers: the analytical surrogate triages the population, the fused
+engines score the survivors, and the frontier is confirmed at full
+fidelity (cache-warm, so the confirm pass costs zero simulator calls
+on points the fused tier already resolved).
+
+The population is seeded with -- and always exactly prices -- the
+paper's Section 5 recommendations, so the resulting frontier either
+*contains* each recommendation or names the candidate that dominates
+it (:class:`PaperVerdict`).
+
+Determinism: all randomness flows through ``random.Random(seed)``,
+iteration orders are sorted, and budget accounting is cache-blind, so
+the same seed over the same grid always returns the same frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .evaluate import BudgetExhausted, Evaluation, FunnelEvaluator
+from .space import Candidate, DesignSpace
+
+__all__ = ["FrontierPoint", "OptimizeResult", "PaperVerdict",
+           "optimize", "pareto_front"]
+
+
+def pareto_front(evaluations: List[Evaluation]) -> List[Evaluation]:
+    """Non-dominated subset under (relative area, mean normalized
+    time), both minimized; sorted by ascending area then time."""
+    ordered = sorted(evaluations,
+                     key=lambda e: (e.relative_area,
+                                    e.mean_normalized_time, e.candidate))
+    front: List[Evaluation] = []
+    for evaluation in ordered:
+        if not any(other.dominates(evaluation) for other in ordered):
+            front.append(evaluation)
+    return front
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One frontier entry plus its provenance."""
+
+    evaluation: Evaluation
+    is_paper_recommendation: bool
+
+
+@dataclass(frozen=True)
+class PaperVerdict:
+    """How one Section 5 recommendation fared against the search."""
+
+    candidate: Candidate
+    evaluation: Evaluation
+    on_frontier: bool
+    dominated_by: Optional[Candidate]
+    """A frontier candidate strictly dominating the recommendation
+    (``None`` when the recommendation itself made the frontier)."""
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Everything :func:`optimize` learned."""
+
+    seed: int
+    frontier: Tuple[FrontierPoint, ...]
+    verdicts: Tuple[PaperVerdict, ...]
+    evaluated: Tuple[Evaluation, ...]
+    """All exact-tier evaluations, sorted by cost/performance."""
+
+    generations_run: int
+    budget: Dict[str, Dict[str, Optional[int]]]
+    stopped_early: bool
+    """True when a tier budget ran out before the loop finished."""
+
+    @property
+    def best(self) -> Optional[Evaluation]:
+        """Lowest cost/performance product among exact evaluations."""
+        return self.evaluated[0] if self.evaluated else None
+
+    def rediscovers_paper(self) -> bool:
+        """Whether every recommendation is on (or dominated by a point
+        of) the frontier -- the acceptance check for the reproduction:
+        the search must rediscover Section 5's designs or name strictly
+        better ones."""
+        return bool(self.verdicts) and all(
+            v.on_frontier or v.dominated_by is not None
+            for v in self.verdicts)
+
+
+def _fill_population(space: DesignSpace, rng: random.Random,
+                     population: List[Candidate], size: int) -> None:
+    """Top up ``population`` with distinct random legal candidates."""
+    seen = set(population)
+    misses = 0
+    while len(population) < size and misses < 8 * size:
+        candidate = space.sample(rng)
+        if candidate is None or candidate in seen:
+            misses += 1
+            continue
+        seen.add(candidate)
+        population.append(candidate)
+
+
+def optimize(space: DesignSpace, evaluator: FunnelEvaluator,
+             seed: int = 0, generations: int = 3,
+             population_size: int = 12, promote: int = 4,
+             confirm: bool = True) -> OptimizeResult:
+    """Search ``space`` for the cost/performance Pareto frontier.
+
+    Each generation: triage the population at the analytical tier,
+    promote the ``promote`` best triage scores (plus, in the first
+    generation, every paper recommendation) to the fused tier, then
+    breed the next generation from the fused elite by mutation and
+    crossover.  A :class:`~repro.optimize.evaluate.BudgetExhausted`
+    from any tier ends the search gracefully with the evaluations
+    already in hand.
+    """
+    if generations < 1:
+        raise ValueError("generations must be >= 1")
+    if population_size < 1:
+        raise ValueError("population_size must be >= 1")
+    if promote < 1:
+        raise ValueError("promote must be >= 1")
+
+    rng = random.Random(seed)
+    seeds = space.seeds()
+    exact: Dict[Candidate, Evaluation] = {}
+    population: List[Candidate] = list(seeds)
+    _fill_population(space, rng, population, population_size)
+
+    generations_run = 0
+    stopped_early = False
+    try:
+        for generation in range(generations):
+            triage = evaluator.evaluate(population, "analytical")
+            ranked = sorted(triage,
+                            key=lambda e: (e.cost_performance,
+                                           e.candidate))
+            chosen = [e.candidate for e in ranked[:promote]]
+            if generation == 0:
+                chosen.extend(c for c in seeds if c not in chosen)
+            scored = evaluator.evaluate(chosen, "fused")
+            for evaluation in scored:
+                exact[evaluation.candidate] = evaluation
+            generations_run += 1
+
+            if generation == generations - 1:
+                break
+            # Breed the next generation from the exact-tier elite.
+            elite = [e.candidate for e in
+                     sorted(exact.values(),
+                            key=lambda e: (e.cost_performance,
+                                           e.candidate))[:promote]]
+            children: List[Candidate] = list(elite)
+            seen = set(children)
+            attempts = 0
+            while (len(children) < population_size
+                   and attempts < 8 * population_size):
+                attempts += 1
+                if len(elite) >= 2 and rng.random() < 0.5:
+                    child = space.crossover(rng.choice(elite),
+                                            rng.choice(elite), rng)
+                else:
+                    child = space.mutate(rng.choice(elite), rng)
+                child = space.mutate(child, rng)
+                if child not in seen:
+                    seen.add(child)
+                    children.append(child)
+            population = children
+            _fill_population(space, rng, population, population_size)
+    except BudgetExhausted:
+        stopped_early = True
+
+    # Confirm the frontier at full fidelity.  Fused and full share
+    # cache keys, so this re-prices the frontier without new simulator
+    # calls; on budget exhaustion the fused evaluations stand.
+    frontier_evals = pareto_front(list(exact.values()))
+    if confirm and frontier_evals and not stopped_early:
+        try:
+            confirmed = evaluator.evaluate(
+                [e.candidate for e in frontier_evals], "full")
+            for evaluation in confirmed:
+                exact[evaluation.candidate] = evaluation
+            frontier_evals = pareto_front(list(exact.values()))
+        except BudgetExhausted:
+            stopped_early = True
+
+    frontier_candidates = {e.candidate for e in frontier_evals}
+    frontier = tuple(
+        FrontierPoint(evaluation=e,
+                      is_paper_recommendation=e.candidate in seeds)
+        for e in frontier_evals)
+
+    verdicts = []
+    for candidate in seeds:
+        evaluation = exact.get(candidate)
+        if evaluation is None:
+            # Budget ran out before this recommendation was priced.
+            continue
+        dominated_by = None
+        if candidate not in frontier_candidates:
+            for point in frontier_evals:
+                if point.dominates(evaluation):
+                    dominated_by = point.candidate
+                    break
+        verdicts.append(PaperVerdict(
+            candidate=candidate, evaluation=evaluation,
+            on_frontier=candidate in frontier_candidates,
+            dominated_by=dominated_by))
+
+    evaluated = tuple(sorted(exact.values(),
+                             key=lambda e: (e.cost_performance,
+                                            e.candidate)))
+    return OptimizeResult(
+        seed=seed,
+        frontier=frontier,
+        verdicts=tuple(verdicts),
+        evaluated=evaluated,
+        generations_run=generations_run,
+        budget=evaluator.budget.summary(),
+        stopped_early=stopped_early)

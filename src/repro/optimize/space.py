@@ -1,0 +1,197 @@
+"""Candidate encoding and the searchable design space.
+
+A :class:`Candidate` is one cluster design the optimizer can price:
+the paper's two swept axes (processors per cluster, SCC capacity) plus
+the four machine knobs the simulator exposes beyond them
+(associativity, bank provisioning, coherence protocol, write-buffer
+depth).  Knobs left at the paper presets are omitted from cache keys
+and spec variants, so the pure (procs, SCC) plane -- everything the
+existing sweeps ever computed -- stays byte-compatible with the
+pre-optimizer cache layout.
+
+:class:`DesignSpace` owns the legal domains and the seeded genetic
+operators (sample / mutate / crossover).  All randomness flows through
+a caller-provided :class:`random.Random`, so the same seed always
+walks the same candidates -- the determinism half of the optimizer's
+contract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Tuple
+
+from ..core.config import KB, SystemConfig
+from ..cost.floorplan import (CLUSTER_IMPLEMENTATIONS,
+                              candidate_cluster_area_mm2)
+from ..experiments.spec import (PAPER_LADDER, PROCS_SWEPT,
+                                ExperimentProfile)
+
+__all__ = ["Candidate", "DesignSpace", "PAPER_RECOMMENDATIONS"]
+
+
+@dataclass(frozen=True, order=True)
+class Candidate:
+    """One cluster design: the paper's grid axes plus variant knobs."""
+
+    procs: int
+    """Processors per cluster (the floorplans cover 1, 2, 4, 8)."""
+
+    scc_paper_bytes: int
+    """SCC capacity in *paper* bytes (scaled down at evaluation time by
+    the profile's ladder scale, like every sweep)."""
+
+    associativity: int = 1
+    protocol: str = "msi"
+    banks_per_processor: int = 4
+    write_buffer_depth: int = 4
+
+    def grid_point(self) -> Tuple[int, int]:
+        """The (procs per cluster, paper SCC bytes) surface key."""
+        return (self.procs, self.scc_paper_bytes)
+
+    def variants(self) -> Tuple[Tuple[str, object], ...]:
+        """Non-preset knobs as :attr:`SweepSpec.variants` pairs."""
+        defaults = SystemConfig()
+        pairs = [("associativity", self.associativity),
+                 ("banks_per_processor", self.banks_per_processor),
+                 ("protocol", self.protocol),
+                 ("write_buffer_depth", self.write_buffer_depth)]
+        return tuple(sorted((knob, value) for knob, value in pairs
+                            if value != getattr(defaults, knob)))
+
+    def area_mm2(self) -> float:
+        """Cluster silicon area from the Section 4 parametric model."""
+        return candidate_cluster_area_mm2(
+            self.procs, self.scc_paper_bytes,
+            associativity=self.associativity,
+            banks_per_processor=self.banks_per_processor,
+            write_buffer_depth=self.write_buffer_depth)
+
+    def label(self) -> str:
+        """``"2p/32KB"`` plus any non-preset knobs."""
+        base = f"{self.procs}p/{self.scc_paper_bytes // KB}KB"
+        extras = ",".join(f"{_SHORT_KNOB[knob]}={value}"
+                          for knob, value in self.variants())
+        return f"{base}[{extras}]" if extras else base
+
+
+_SHORT_KNOB = {"associativity": "assoc", "banks_per_processor": "banks",
+               "protocol": "protocol", "write_buffer_depth": "wbuf"}
+
+
+PAPER_RECOMMENDATIONS: Tuple[Candidate, ...] = (
+    Candidate(2, 32 * KB),
+    Candidate(4, 64 * KB),
+    Candidate(8, 128 * KB),
+)
+"""Section 5's verdicts: the 2-processor/32 KB single-chip cluster and
+the 4-processor/64 KB and 8-processor/128 KB MCM clusters."""
+
+
+class DesignSpace:
+    """Legal candidate domains plus the seeded genetic operators.
+
+    ``profile`` matters for legality: the reproduction scales cache
+    sizes down by ``ladder_scale``, so a 4 KB paper SCC simulates at
+    512 bytes (32 lines) -- too few lines for eight banks-per-processor
+    at eight processors, say.  Candidates are validated against the
+    *simulated* configuration, exactly the machine they would price.
+    """
+
+    def __init__(self, profile: ExperimentProfile,
+                 procs: Iterable[int] = PROCS_SWEPT,
+                 ladder: Iterable[int] = PAPER_LADDER,
+                 associativity: Iterable[int] = (1, 2, 4),
+                 protocols: Iterable[str] = ("msi", "mesi"),
+                 banks: Iterable[int] = (2, 4, 8),
+                 write_buffers: Iterable[int] = (1, 2, 4, 8),
+                 explore_knobs: bool = True):
+        self.profile = profile
+        self.procs = tuple(sorted(set(procs)))
+        self.ladder = tuple(sorted(set(ladder)))
+        unknown = [p for p in self.procs
+                   if p not in CLUSTER_IMPLEMENTATIONS]
+        if unknown:
+            raise ValueError(f"no floorplan (and so no cost) for "
+                             f"{unknown} processors per cluster")
+        if explore_knobs:
+            self.associativity = tuple(sorted(set(associativity)))
+            self.protocols = tuple(sorted(set(protocols)))
+            self.banks = tuple(sorted(set(banks)))
+            self.write_buffers = tuple(sorted(set(write_buffers)))
+        else:
+            self.associativity = (1,)
+            self.protocols = ("msi",)
+            self.banks = (4,)
+            self.write_buffers = (4,)
+        self._dimensions = (
+            ("procs", self.procs),
+            ("scc_paper_bytes", self.ladder),
+            ("associativity", self.associativity),
+            ("protocol", self.protocols),
+            ("banks_per_processor", self.banks),
+            ("write_buffer_depth", self.write_buffers),
+        )
+
+    # ------------------------------------------------------------------
+
+    def legal(self, candidate: Candidate) -> bool:
+        """Whether the candidate simulates as a valid machine."""
+        if (candidate.procs not in self.procs
+                or candidate.scc_paper_bytes not in self.ladder):
+            return False
+        scaled = candidate.scc_paper_bytes // self.profile.ladder_scale
+        try:
+            SystemConfig.paper_parallel(
+                candidate.procs, scaled).with_updates(
+                    **dict(candidate.variants()))
+        except ValueError:
+            return False
+        return True
+
+    def seeds(self) -> Tuple[Candidate, ...]:
+        """The paper's recommended designs that fit this space (the
+        search starts from -- and always exactly prices -- these)."""
+        return tuple(c for c in PAPER_RECOMMENDATIONS if self.legal(c))
+
+    # -- genetic operators ---------------------------------------------
+
+    def sample(self, rng: random.Random,
+               attempts: int = 64) -> Optional[Candidate]:
+        """One uniformly-drawn legal candidate (``None`` if the space
+        is so constrained that ``attempts`` rejections all failed)."""
+        for _ in range(attempts):
+            candidate = Candidate(**{name: rng.choice(domain)
+                                     for name, domain in self._dimensions})
+            if self.legal(candidate):
+                return candidate
+        return None
+
+    def mutate(self, candidate: Candidate,
+               rng: random.Random, attempts: int = 16) -> Candidate:
+        """Step one dimension to a neighbouring value (legal results
+        only; falls back to the parent when every step is illegal)."""
+        for _ in range(attempts):
+            name, domain = rng.choice(self._dimensions)
+            if len(domain) < 2:
+                continue
+            index = domain.index(getattr(candidate, name))
+            step = rng.choice((-1, 1))
+            neighbour = domain[max(0, min(len(domain) - 1, index + step))]
+            mutated = replace(candidate, **{name: neighbour})
+            if mutated != candidate and self.legal(mutated):
+                return mutated
+        return candidate
+
+    def crossover(self, parent_a: Candidate, parent_b: Candidate,
+                  rng: random.Random, attempts: int = 16) -> Candidate:
+        """Uniform crossover: each dimension drawn from either parent."""
+        for _ in range(attempts):
+            child = Candidate(**{
+                name: getattr(rng.choice((parent_a, parent_b)), name)
+                for name, _ in self._dimensions})
+            if self.legal(child):
+                return child
+        return parent_a

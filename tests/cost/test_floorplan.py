@@ -4,6 +4,9 @@ import pytest
 
 from repro.cost.floorplan import (CLUSTER_IMPLEMENTATIONS,
                                   implementation_for)
+from repro.cost.sram import SCC_BANK_BLOCK, cache_area_mm2
+
+KB = 1024
 
 
 class TestQuotedNumbers:
@@ -74,3 +77,52 @@ class TestLookup:
     def test_unknown_width_rejected(self):
         with pytest.raises(ValueError):
             implementation_for(3)
+
+
+class TestCandidateClusterArea:
+    """Parametric areas for search candidates: anchored on the drawn
+    floorplans, monotone in every knob."""
+
+    def test_anchors_on_paper_designs(self):
+        from repro.cost.floorplan import candidate_cluster_area_mm2
+        for procs, impl in CLUSTER_IMPLEMENTATIONS.items():
+            assert candidate_cluster_area_mm2(
+                procs, impl.scc_bytes) == pytest.approx(
+                    impl.cluster_area_mm2)
+
+    def test_monotone_in_capacity_and_knobs(self):
+        from repro.cost.floorplan import candidate_cluster_area_mm2
+        base = candidate_cluster_area_mm2(2, 32 * KB)
+        assert candidate_cluster_area_mm2(2, 64 * KB) > base
+        assert candidate_cluster_area_mm2(
+            2, 32 * KB, associativity=2) > base
+        assert candidate_cluster_area_mm2(
+            2, 32 * KB, banks_per_processor=8) > base
+        assert candidate_cluster_area_mm2(
+            2, 32 * KB, write_buffer_depth=8) > base
+
+    def test_shrinking_never_undercuts_the_core_floor(self):
+        from repro.cost.floorplan import candidate_cluster_area_mm2
+        tiny = candidate_cluster_area_mm2(8, 4 * KB,
+                                          banks_per_processor=1,
+                                          write_buffer_depth=1)
+        impl = CLUSTER_IMPLEMENTATIONS[8]
+        cores_floor = impl.cluster_area_mm2 - cache_area_mm2(
+            impl.scc_bytes, SCC_BANK_BLOCK)
+        assert tiny >= cores_floor
+
+    def test_uniprocessor_has_no_icn_terms(self):
+        from repro.cost.floorplan import candidate_cluster_area_mm2
+        assert candidate_cluster_area_mm2(
+            1, 64 * KB, banks_per_processor=8,
+            write_buffer_depth=8) == pytest.approx(
+                candidate_cluster_area_mm2(1, 64 * KB))
+
+    def test_rejects_bad_knobs(self):
+        from repro.cost.floorplan import candidate_cluster_area_mm2
+        with pytest.raises(ValueError):
+            candidate_cluster_area_mm2(2, 0)
+        with pytest.raises(ValueError):
+            candidate_cluster_area_mm2(2, 32 * KB, associativity=0)
+        with pytest.raises(ValueError):
+            candidate_cluster_area_mm2(3, 32 * KB)

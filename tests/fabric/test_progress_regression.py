@@ -1,0 +1,120 @@
+"""Regressions for progress-stream termination.
+
+The stall class under test: ``iter_progress`` historically trusted the
+event log to eventually deliver a ``done`` event.  A consumer that
+started polling after the job had already finished -- e.g. because its
+final point was *quarantined* before the first poll -- or a transport
+that lost the terminal event would then long-poll forever on drained
+pages.  The fix consults the job's state whenever a page comes back
+empty, and the broker emits progress events for quarantined points so
+they are visible in the stream at all.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.session import QuarantinedPointError
+from repro.fabric import LocalFabric
+from repro.fabric.client import HttpTransport, SweepClient
+
+
+class DroppingTransport:
+    """A transport whose event pages never contain the terminal event
+    (simulating a lost/truncated stream)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def submit(self, spec_wire):
+        return self.inner.submit(spec_wire)
+
+    def status(self, job_id):
+        return self.inner.status(job_id)
+
+    def events(self, job_id, since, timeout):
+        page = self.inner.events(job_id, since, timeout)
+        page["events"] = [event for event in page["events"]
+                          if event.get("event") != "done"]
+        return page
+
+    def result(self, job_id, timeout):
+        return self.inner.result(job_id, timeout)
+
+
+class TestIterProgressTermination:
+    def test_quarantined_final_point_before_first_poll(self, tiny_spec,
+                                                       monkeypatch):
+        """The job finishes (last point quarantined) before the client
+        ever polls; the stream must still terminate -- and carry the
+        quarantined point."""
+        point = (2, tiny_spec.ladder[-1])
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           f"{point[0]}:{point[1]}:raise")
+        spec = dataclasses.replace(tiny_spec, fidelity="full",
+                                   max_attempts=1)
+        with LocalFabric(workers=1) as fabric:
+            handle = fabric.client.submit(spec)
+            with pytest.raises(QuarantinedPointError):
+                fabric.client.result(handle, timeout=120.0)
+            # First poll happens only now, after the job is done.
+            events = list(fabric.client.iter_progress(
+                handle, poll_timeout=0.2))
+        assert events[-1]["event"] == "done"
+        assert events[-1]["ok"] is False
+        statuses = {e["point"]: e["status"] for e in events
+                    if e.get("event") == "point"}
+        assert statuses[f"{point[0]}/{point[1]}"] == "quarantined"
+
+    def test_lost_done_event_falls_back_to_status(self, tiny_spec):
+        """A stream that never shows 'done' must end via the status
+        fallback instead of long-polling forever."""
+        with LocalFabric(workers=1) as fabric:
+            handle = fabric.client.submit(tiny_spec)
+            fabric.client.result(handle, timeout=120.0)
+            client = SweepClient(DroppingTransport(
+                fabric.client.transport))
+            events = list(client.iter_progress(handle,
+                                               poll_timeout=0.1))
+        assert all(e.get("event") != "done" for e in events)
+        # Termination proves the fallback fired; the per-point events
+        # still all arrived.
+        points = {e["point"] for e in events
+                  if e.get("event") == "point"}
+        assert points == {f"{p}/{b}" for p, b in tiny_spec.configs()}
+
+
+class FakeRequests:
+    """Scripted HttpTransport._request stand-in for result() polling."""
+
+    def __init__(self, payloads):
+        self.payloads = list(payloads)
+        self.calls = []
+
+    def __call__(self, method, path, payload=None, timeout=None):
+        self.calls.append(path)
+        if not self.payloads:
+            raise AssertionError("polled more times than scripted")
+        return self.payloads.pop(0)
+
+
+class TestHttpResultPolling:
+    def test_blocking_result_spans_multiple_polls(self, monkeypatch):
+        """timeout=None must keep polling (bounded requests) until the
+        job finishes -- Broker.result semantics over HTTP."""
+        transport = HttpTransport("http://fabric.test", poll_timeout=0.01)
+        fake = FakeRequests([{"pending": True}, {"pending": True},
+                             {"points": {"1/4096": {}}}])
+        monkeypatch.setattr(transport, "_request", fake)
+        payload = transport.result("job-1", timeout=None)
+        assert payload == {"points": {"1/4096": {}}}
+        assert len(fake.calls) == 3
+        assert all("/jobs/job-1/result" in path for path in fake.calls)
+
+    def test_finite_timeout_returns_none_when_still_pending(
+            self, monkeypatch):
+        transport = HttpTransport("http://fabric.test", poll_timeout=0.01)
+        fake = FakeRequests([{"pending": True}] * 100_000)
+        monkeypatch.setattr(transport, "_request", fake)
+        assert transport.result("job-1", timeout=0.05) is None
+        assert fake.calls  # it did poll before giving up

@@ -179,3 +179,54 @@ class TestGeometryGuards:
         stats = predict_point(profile, config, benchmark="barnes-hut")
         assert isinstance(stats.execution_time, int)
         assert stats.execution_time > 0
+
+
+class TestParallelFidelityGuard:
+    """Multi-processor parallel rows are outside the surrogate's
+    validated regime: by default it warns (once), and strict callers
+    get a refusal they can catch to fall back to exact tiers."""
+
+    def _parallel_profile(self):
+        streams = {p: encode_events([Read((p * 64 + i) * 16)
+                                     for i in range(16)])
+                   for p in range(4)}
+        config = SystemConfig(clusters=2, processors_per_cluster=2,
+                              scc_size=4 * KB)
+        return build_row_profile(streams, config,
+                                 (config.scc_size // 16,)), config
+
+    def _reset_warning(self, monkeypatch):
+        from repro.model import predictor
+        monkeypatch.setattr(predictor, "_PARALLEL_WARNING_EMITTED",
+                            False)
+
+    def test_warns_once_by_default(self, monkeypatch):
+        self._reset_warning(monkeypatch)
+        profile, config = self._parallel_profile()
+        with pytest.warns(RuntimeWarning, match="known-bad"):
+            predict_point(profile, config)
+        # One-shot: the second prediction stays silent.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            predict_point(profile, config)
+
+    def test_strict_parallel_raises(self, monkeypatch):
+        from repro.model import ParallelFidelityError
+        self._reset_warning(monkeypatch)
+        profile, config = self._parallel_profile()
+        with pytest.raises(ParallelFidelityError, match="known-bad"):
+            predict_point(profile, config, strict_parallel=True)
+
+    def test_single_processor_rows_stay_silent(self, monkeypatch):
+        self._reset_warning(monkeypatch)
+        streams = {0: encode_events([Read(i * 16) for i in range(8)]),
+                   1: encode_events([Read(i * 16) for i in range(8)])}
+        config = SystemConfig(clusters=2, processors_per_cluster=1,
+                              scc_size=4 * KB)
+        profile = build_row_profile(streams, config,
+                                    (config.scc_size // 16,))
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            predict_point(profile, config, strict_parallel=True)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the design-space optimizer tests."""
+
+import pytest
+
+from repro.experiments.spec import ExperimentProfile
+
+
+@pytest.fixture
+def tiny_profile():
+    return ExperimentProfile(
+        name="tiny", ladder_scale=8,
+        barnes_bodies=32, barnes_steps=1,
+        mp3d_particles=60, mp3d_steps=1,
+        cholesky_n=64,
+        multiprog_instructions=2000, multiprog_quantum=500)
+
+
+@pytest.fixture
+def counting_simulator(monkeypatch):
+    """Count every real simulator invocation."""
+    from repro.experiments import runner
+    real = runner.run_simulation
+    calls = []
+
+    def counted(config, application, **kwargs):
+        calls.append(type(application).__name__)
+        return real(config, application, **kwargs)
+
+    monkeypatch.setattr(runner, "run_simulation", counted)
+    return calls

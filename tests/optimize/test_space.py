@@ -1,0 +1,106 @@
+"""Tests for the candidate encoding and design-space operators."""
+
+import random
+
+import pytest
+
+from repro.core.config import KB, SystemConfig
+from repro.experiments.spec import point_cache_key
+from repro.optimize.space import (Candidate, DesignSpace,
+                                  PAPER_RECOMMENDATIONS)
+
+
+class TestCandidate:
+    def test_variants_omit_presets(self):
+        assert Candidate(2, 32 * KB).variants() == ()
+
+    def test_variants_sorted_pairs(self):
+        candidate = Candidate(2, 32 * KB, associativity=2,
+                              protocol="mesi")
+        assert candidate.variants() == (("associativity", 2),
+                                        ("protocol", "mesi"))
+
+    def test_label(self):
+        assert Candidate(2, 32 * KB).label() == "2p/32KB"
+        assert Candidate(4, 64 * KB, write_buffer_depth=8).label() == \
+            "4p/64KB[wbuf=8]"
+
+    def test_area_anchors_on_paper_designs(self):
+        """Preset-knob candidates at the paper design points price at
+        exactly the quoted cluster areas."""
+        assert Candidate(1, 64 * KB).area_mm2() == pytest.approx(204.0)
+        assert Candidate(2, 32 * KB).area_mm2() == pytest.approx(279.0)
+        assert Candidate(4, 64 * KB).area_mm2() == pytest.approx(594.0)
+        assert Candidate(8, 128 * KB).area_mm2() == pytest.approx(1224.0)
+
+    def test_knobs_change_area(self):
+        base = Candidate(2, 32 * KB).area_mm2()
+        assert Candidate(2, 32 * KB,
+                         associativity=2).area_mm2() > base
+        assert Candidate(2, 32 * KB,
+                         write_buffer_depth=8).area_mm2() > base
+
+    def test_ordering_is_total(self):
+        candidates = [Candidate(4, 64 * KB), Candidate(2, 32 * KB),
+                      Candidate(2, 32 * KB, protocol="mesi")]
+        ordered = sorted(candidates)
+        assert ordered[-1] == Candidate(4, 64 * KB)
+        assert ordered == sorted(reversed(candidates))
+
+    def test_variant_cache_keys_distinct_but_defaults_unchanged(
+            self, tiny_profile):
+        """A variant candidate's config gets its own cache-key suffix;
+        a preset candidate keys exactly like the pre-optimizer format."""
+        scale = tiny_profile.ladder_scale
+        preset = SystemConfig.paper_parallel(2, 32 * KB // scale)
+        variant = preset.with_updates(associativity=2)
+        preset_key = point_cache_key("mp3d", tiny_profile, preset)
+        variant_key = point_cache_key("mp3d", tiny_profile, variant)
+        assert "assoc" not in preset_key
+        assert "|assoc=2" in variant_key
+        assert variant_key != preset_key
+
+
+class TestDesignSpace:
+    def test_paper_seeds_are_legal(self, tiny_profile):
+        space = DesignSpace(tiny_profile)
+        assert space.seeds() == PAPER_RECOMMENDATIONS
+
+    def test_rejects_unpriceable_procs(self, tiny_profile):
+        with pytest.raises(ValueError, match="floorplan"):
+            DesignSpace(tiny_profile, procs=(1, 2, 3))
+
+    def test_overbanked_candidate_is_illegal(self, tiny_profile):
+        """At tiny simulated sizes the smallest ladder rungs cannot
+        host eight banks per processor on eight processors."""
+        space = DesignSpace(tiny_profile)
+        candidate = Candidate(8, 4 * KB, banks_per_processor=8)
+        assert not space.legal(candidate)
+        assert space.legal(Candidate(8, 512 * KB,
+                                     banks_per_processor=8))
+
+    def test_explore_knobs_off_pins_presets(self, tiny_profile):
+        space = DesignSpace(tiny_profile, explore_knobs=False)
+        rng = random.Random(0)
+        for _ in range(16):
+            candidate = space.sample(rng)
+            assert candidate is not None
+            assert candidate.variants() == ()
+
+    def test_operators_deterministic_and_legal(self, tiny_profile):
+        space = DesignSpace(tiny_profile)
+
+        def walk(seed):
+            rng = random.Random(seed)
+            trail = []
+            current = space.sample(rng)
+            for _ in range(24):
+                trail.append(current)
+                assert space.legal(current)
+                other = space.sample(rng)
+                current = space.crossover(
+                    space.mutate(current, rng), other, rng)
+            return trail
+
+        assert walk(7) == walk(7)
+        assert walk(7) != walk(8)

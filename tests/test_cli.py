@@ -206,3 +206,44 @@ class TestBench:
         assert point["events"] > 0
         assert point["packed_s"] > 0
         assert point["generator_s"] > 0
+
+
+class TestOptimizeCommand:
+    @pytest.fixture
+    def tiny_env(self, monkeypatch, tmp_path):
+        from repro.experiments.runner import PROFILES, ExperimentProfile
+        profile = ExperimentProfile(
+            name="tiny", ladder_scale=8,
+            barnes_bodies=24, barnes_steps=1,
+            mp3d_particles=40, mp3d_steps=1,
+            cholesky_n=48,
+            multiprog_instructions=1500, multiprog_quantum=500)
+        monkeypatch.setitem(PROFILES, "tiny", profile)
+        monkeypatch.setenv("REPRO_PROFILE", "tiny")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SESSION_DIR",
+                           str(tmp_path / "sessions"))
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        return profile
+
+    def test_optimize_rediscovers_recommendations(self, capsys,
+                                                  tiny_env):
+        assert main(["optimize", "--seed", "0", "--generations", "1",
+                     "--population", "4", "--promote", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "2p/32KB" in out
+        assert "REDISCOVERS" in out
+        assert "Funnel budget" in out
+
+    def test_optimize_rejects_unknown_benchmark(self, capsys, tiny_env):
+        assert main(["optimize", "--benchmarks", "linpack"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_optimize_budget_flags_flow_through(self, capsys, tiny_env):
+        assert main(["optimize", "--seed", "0", "--generations", "1",
+                     "--population", "4", "--promote", "2",
+                     "--no-knobs", "--budget-fused", "64",
+                     "--ladder", "32KB,64KB,128KB,512KB"]) == 0
+        out = capsys.readouterr().out
+        assert "/ 64" in out
